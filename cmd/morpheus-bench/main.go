@@ -1,0 +1,62 @@
+// Command morpheus-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	morpheus-bench -exp fig3            # one experiment
+//	morpheus-bench -exp all             # everything (slow)
+//	morpheus-bench -list                # show experiment IDs
+//	morpheus-bench -exp fig5 -scale 2   # grow workloads toward paper scale
+//	morpheus-bench -exp table9 -tmpdir /fast/disk
+//
+// Each experiment prints a text table with the materialized (M) and
+// factorized (F) runtimes and the speed-up, mirroring the series in the
+// corresponding paper table/figure. See EXPERIMENTS.md for the mapping and
+// the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment ID (or 'all')")
+		scale  = flag.Float64("scale", 1, "workload scale factor (1 = laptop defaults)")
+		seed   = flag.Int64("seed", 1, "data generation seed")
+		tmpdir = flag.String("tmpdir", "", "directory for out-of-core chunk stores (default: system temp)")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "morpheus-bench: -exp is required (try -list)")
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, TmpDir: *tmpdir}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "morpheus-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if seen[res.ID] { // fig6/fig7 and fig11/fig12 share runners
+			continue
+		}
+		seen[res.ID] = true
+		fmt.Println(res.Format())
+	}
+}

@@ -1,0 +1,280 @@
+// Package chunk is the out-of-core substitute for Oracle R Enterprise in
+// the paper's §5.2.4 scalability experiments. ORE executes LA operators
+// over an RDBMS-resident table by partitioning it into row chunks
+// (ore.rowapply) and streaming operator code over the chunks; this package
+// reproduces that execution model with a directory-backed chunk store, so
+// that the materialized matrix pays per-iteration I/O plus FLOPs
+// proportional to nS·(dS+dR) while the factorized version streams only the
+// base tables (Tables 9 and 10).
+package chunk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/la"
+)
+
+// Store manages on-disk chunks under a directory.
+type Store struct {
+	dir  string
+	next int
+}
+
+// NewStore creates (if needed) and wraps a chunk directory.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("chunk: creating store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+func (s *Store) newPath() string {
+	s.next++
+	return filepath.Join(s.dir, fmt.Sprintf("chunk-%06d.bin", s.next))
+}
+
+// Matrix is a dense matrix partitioned into fixed-height row chunks, each
+// persisted as a raw little-endian float64 file. Reads always go to disk:
+// the matrix is genuinely out-of-core.
+type Matrix struct {
+	store      *Store
+	rows, cols int
+	chunkRows  int
+	paths      []string
+}
+
+// Rows reports the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols reports the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// NumChunks reports the chunk count.
+func (m *Matrix) NumChunks() int { return len(m.paths) }
+
+// FromDense partitions d into chunks of chunkRows rows and spills them.
+func FromDense(store *Store, d *la.Dense, chunkRows int) (*Matrix, error) {
+	if chunkRows <= 0 {
+		return nil, fmt.Errorf("chunk: chunkRows must be positive, got %d", chunkRows)
+	}
+	m := &Matrix{store: store, rows: d.Rows(), cols: d.Cols(), chunkRows: chunkRows}
+	for lo := 0; lo < d.Rows(); lo += chunkRows {
+		hi := lo + chunkRows
+		if hi > d.Rows() {
+			hi = d.Rows()
+		}
+		path := store.newPath()
+		if err := writeChunk(path, d.SliceRowsDense(lo, hi)); err != nil {
+			return nil, err
+		}
+		m.paths = append(m.paths, path)
+	}
+	return m, nil
+}
+
+// Build streams rows from gen (called once per chunk with the half-open row
+// range) directly to disk, so matrices larger than memory can be created.
+func Build(store *Store, rows, cols, chunkRows int, gen func(lo, hi int, dst *la.Dense)) (*Matrix, error) {
+	if chunkRows <= 0 {
+		return nil, fmt.Errorf("chunk: chunkRows must be positive, got %d", chunkRows)
+	}
+	m := &Matrix{store: store, rows: rows, cols: cols, chunkRows: chunkRows}
+	for lo := 0; lo < rows; lo += chunkRows {
+		hi := lo + chunkRows
+		if hi > rows {
+			hi = rows
+		}
+		buf := la.NewDense(hi-lo, cols)
+		gen(lo, hi, buf)
+		path := store.newPath()
+		if err := writeChunk(path, buf); err != nil {
+			return nil, err
+		}
+		m.paths = append(m.paths, path)
+	}
+	return m, nil
+}
+
+func writeChunk(path string, d *la.Dense) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("chunk: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var b [8]byte
+	for _, v := range d.Data() {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		if _, err := w.Write(b[:]); err != nil {
+			f.Close()
+			return fmt.Errorf("chunk: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("chunk: %w", err)
+	}
+	return f.Close()
+}
+
+func readChunk(path string, rows, cols int) (*la.Dense, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("chunk: %w", err)
+	}
+	if len(raw) != rows*cols*8 {
+		return nil, fmt.Errorf("chunk: %s has %d bytes, want %d", path, len(raw), rows*cols*8)
+	}
+	data := make([]float64, rows*cols)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return la.NewDenseData(rows, cols, data), nil
+}
+
+func (m *Matrix) chunkBounds(i int) (lo, hi int) {
+	lo = i * m.chunkRows
+	hi = lo + m.chunkRows
+	if hi > m.rows {
+		hi = m.rows
+	}
+	return lo, hi
+}
+
+// ForEach streams every chunk through fn in row order (the ore.rowapply
+// analogue).
+func (m *Matrix) ForEach(fn func(lo int, chunk *la.Dense) error) error {
+	for i, path := range m.paths {
+		lo, hi := m.chunkBounds(i)
+		c, err := readChunk(path, hi-lo, m.cols)
+		if err != nil {
+			return err
+		}
+		if err := fn(lo, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Dense loads the whole matrix into memory (tests and small data only).
+func (m *Matrix) Dense() (*la.Dense, error) {
+	out := la.NewDense(m.rows, m.cols)
+	err := m.ForEach(func(lo int, c *la.Dense) error {
+		for i := 0; i < c.Rows(); i++ {
+			copy(out.Row(lo+i), c.Row(i))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Mul computes m·x, producing a new chunked matrix with one streaming pass.
+func (m *Matrix) Mul(x *la.Dense) (*Matrix, error) {
+	if x.Rows() != m.cols {
+		return nil, fmt.Errorf("chunk: Mul %dx%d · %dx%d", m.rows, m.cols, x.Rows(), x.Cols())
+	}
+	out := &Matrix{store: m.store, rows: m.rows, cols: x.Cols(), chunkRows: m.chunkRows}
+	err := m.ForEach(func(lo int, c *la.Dense) error {
+		path := m.store.newPath()
+		out.paths = append(out.paths, path)
+		return writeChunk(path, la.MatMul(c, x))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TMul computes mᵀ·x for an in-memory x with one streaming pass,
+// accumulating the (small) cols×xCols output in memory.
+func (m *Matrix) TMul(x *la.Dense) (*la.Dense, error) {
+	if x.Rows() != m.rows {
+		return nil, fmt.Errorf("chunk: TMul %dx%dᵀ · %dx%d", m.rows, m.cols, x.Rows(), x.Cols())
+	}
+	acc := la.NewDense(m.cols, x.Cols())
+	err := m.ForEach(func(lo int, c *la.Dense) error {
+		acc.AddInPlace(la.TMatMul(c, x.SliceRowsDense(lo, lo+c.Rows())))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// CrossProd computes mᵀ·m by accumulating per-chunk cross-products.
+func (m *Matrix) CrossProd() (*la.Dense, error) {
+	acc := la.NewDense(m.cols, m.cols)
+	err := m.ForEach(func(lo int, c *la.Dense) error {
+		acc.AddInPlace(c.CrossProd())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// Scale computes m·x element-wise into a new chunked matrix.
+func (m *Matrix) Scale(x float64) (*Matrix, error) {
+	out := &Matrix{store: m.store, rows: m.rows, cols: m.cols, chunkRows: m.chunkRows}
+	err := m.ForEach(func(lo int, c *la.Dense) error {
+		path := m.store.newPath()
+		out.paths = append(out.paths, path)
+		return writeChunk(path, c.ScaleDense(x))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ColSums aggregates column sums in one pass.
+func (m *Matrix) ColSums() (*la.Dense, error) {
+	acc := make([]float64, m.cols)
+	err := m.ForEach(func(lo int, c *la.Dense) error {
+		for j, v := range c.ColSumsVec() {
+			acc[j] += v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return la.RowVector(acc), nil
+}
+
+// RowSums computes row sums into a chunked n×1 matrix.
+func (m *Matrix) RowSums() (*Matrix, error) {
+	out := &Matrix{store: m.store, rows: m.rows, cols: 1, chunkRows: m.chunkRows}
+	err := m.ForEach(func(lo int, c *la.Dense) error {
+		path := m.store.newPath()
+		out.paths = append(out.paths, path)
+		return writeChunk(path, c.RowSums())
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Sum aggregates the grand total in one pass.
+func (m *Matrix) Sum() (float64, error) {
+	total := 0.0
+	err := m.ForEach(func(lo int, c *la.Dense) error {
+		total += c.SumAll()
+		return nil
+	})
+	return total, err
+}
+
+// BytesOnDisk reports the matrix's storage footprint.
+func (m *Matrix) BytesOnDisk() int64 { return int64(m.rows) * int64(m.cols) * 8 }

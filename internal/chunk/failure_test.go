@@ -1,0 +1,104 @@
+package chunk
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// corruptOneChunk truncates the first chunk file in the store directory.
+func corruptOneChunk(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "chunk-") {
+			p := filepath.Join(dir, e.Name())
+			if err := os.Truncate(p, 8); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+	}
+	t.Fatal("no chunk files found")
+}
+
+func TestTruncatedChunkSurfacesError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FromDense(store, randDense(rng, 30, 4), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptOneChunk(t, dir)
+	if _, err := m.Dense(); err == nil {
+		t.Fatal("Dense succeeded on truncated chunk")
+	}
+	if _, err := m.CrossProd(); err == nil {
+		t.Fatal("CrossProd succeeded on truncated chunk")
+	}
+	if _, err := m.Mul(randDense(rng, 4, 2)); err == nil {
+		t.Fatal("Mul succeeded on truncated chunk")
+	}
+	if _, err := m.Sum(); err == nil {
+		t.Fatal("Sum succeeded on truncated chunk")
+	}
+}
+
+func TestMissingChunkSurfacesError(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FromDense(store, randDense(rng, 20, 3), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if err := os.Remove(filepath.Join(dir, entries[0].Name())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ColSums(); err == nil {
+		t.Fatal("ColSums succeeded on missing chunk")
+	}
+}
+
+func TestLogRegSurfacesChunkError(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := randDense(rng, 40, 5)
+	m, err := FromDense(store, td, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := randDense(rng, 40, 1)
+	corruptOneChunk(t, dir)
+	if _, err := LogRegMaterialized(m, y, 2, 1e-3); err == nil {
+		t.Fatal("training succeeded on corrupt store")
+	}
+}
+
+func TestNewStoreBadPath(t *testing.T) {
+	// A path under a regular file cannot be created.
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(filepath.Join(f, "sub")); err == nil {
+		t.Fatal("NewStore under a file succeeded")
+	}
+}

@@ -1,0 +1,146 @@
+package chunk
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+)
+
+// IntVector is an on-disk chunked int32 column (the foreign-key column of
+// the out-of-core entity table). It reuses the float64 chunk files,
+// storing keys as exact small floats.
+type IntVector struct {
+	m *Matrix
+}
+
+// BuildIntVector spills a foreign-key column chunk-aligned with rows.
+func BuildIntVector(store *Store, keys []int32, chunkRows int) (*IntVector, error) {
+	m, err := Build(store, len(keys), 1, chunkRows, func(lo, hi int, dst *la.Dense) {
+		for i := lo; i < hi; i++ {
+			dst.Set(i-lo, 0, float64(keys[i]))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &IntVector{m: m}, nil
+}
+
+// NormalizedTable is the out-of-core normalized matrix for a single PK-FK
+// join at ORE scale: the entity table S and its foreign-key column live in
+// chunked storage, the (much smaller) attribute table R stays in memory.
+// For M:N joins (Table 10), S and R base tables stay on disk and the
+// indicator assignments are chunk-streamed the same way.
+type NormalizedTable struct {
+	S  *Matrix    // nS×dS on disk
+	FK *IntVector // nS×1 on disk, aligned with S's chunking
+	R  *la.Dense  // nR×dR in memory
+}
+
+// NewNormalizedTable validates chunk alignment between S and FK.
+func NewNormalizedTable(s *Matrix, fk *IntVector, r *la.Dense) (*NormalizedTable, error) {
+	if s.rows != fk.m.rows {
+		return nil, fmt.Errorf("chunk: S has %d rows but FK has %d", s.rows, fk.m.rows)
+	}
+	if s.chunkRows != fk.m.chunkRows {
+		return nil, fmt.Errorf("chunk: S chunked by %d rows but FK by %d", s.chunkRows, fk.m.chunkRows)
+	}
+	return &NormalizedTable{S: s, FK: fk, R: r}, nil
+}
+
+// LogRegResult reports the fitted weights and observed I/O volume, the
+// quantity that separates M from F at ORE scale.
+type LogRegResult struct {
+	W         *la.Dense
+	BytesRead int64
+}
+
+// LogRegMaterialized runs the standard logistic regression (Algorithm 3)
+// over the chunked materialized table T, streaming all nS·(dS+dR) cells
+// from disk every iteration — the ORE baseline of Table 9.
+func LogRegMaterialized(t *Matrix, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
+	if y.Rows() != t.rows || y.Cols() != 1 {
+		return nil, fmt.Errorf("chunk: labels are %dx%d, want %dx1", y.Rows(), y.Cols(), t.rows)
+	}
+	if iters <= 0 {
+		return nil, fmt.Errorf("chunk: iters must be positive")
+	}
+	d := t.cols
+	w := la.NewDense(d, 1)
+	var bytesRead int64
+	for it := 0; it < iters; it++ {
+		grad := la.NewDense(d, 1)
+		err := t.ForEach(func(lo int, c *la.Dense) error {
+			bytesRead += int64(c.Rows()) * int64(c.Cols()) * 8
+			tw := la.MatMul(c, w)
+			p := la.NewDense(c.Rows(), 1)
+			for i := 0; i < c.Rows(); i++ {
+				p.Set(i, 0, y.At(lo+i, 0)/(1+math.Exp(tw.At(i, 0))))
+			}
+			grad.AddInPlace(la.TMatMul(c, p))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.AXPYInPlace(alpha, grad)
+	}
+	return &LogRegResult{W: w, BytesRead: bytesRead}, nil
+}
+
+// LogRegFactorized runs the factorized logistic regression (Algorithm 4)
+// over the out-of-core normalized table: per iteration it reads only the
+// base table S (plus the key column) from disk and computes the R-side
+// partial products in memory — the Morpheus-on-ORE configuration.
+func LogRegFactorized(nt *NormalizedTable, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
+	nS, dS := nt.S.rows, nt.S.cols
+	dR := nt.R.Cols()
+	if y.Rows() != nS || y.Cols() != 1 {
+		return nil, fmt.Errorf("chunk: labels are %dx%d, want %dx1", y.Rows(), y.Cols(), nS)
+	}
+	if iters <= 0 {
+		return nil, fmt.Errorf("chunk: iters must be positive")
+	}
+	w := la.NewDense(dS+dR, 1)
+	var bytesRead int64
+	for it := 0; it < iters; it++ {
+		wS := la.NewDenseData(dS, 1, w.Data()[:dS])
+		wR := la.NewDenseData(dR, 1, w.Data()[dS:])
+		rw := la.MatMul(nt.R, wR) // partial inner products, in memory
+		gradS := la.NewDense(dS, 1)
+		scatter := make([]float64, nt.R.Rows())
+		ci := 0
+		err := nt.S.ForEach(func(lo int, c *la.Dense) error {
+			bytesRead += int64(c.Rows())*int64(c.Cols())*8 + int64(c.Rows())*8
+			loK, hiK := nt.FK.m.chunkBounds(ci)
+			keys, err := readChunk(nt.FK.m.paths[ci], hiK-loK, 1)
+			if err != nil {
+				return err
+			}
+			ci++
+			sw := la.MatMul(c, wS)
+			p := la.NewDense(c.Rows(), 1)
+			for i := 0; i < c.Rows(); i++ {
+				rid := int(keys.At(i, 0))
+				inner := sw.At(i, 0) + rw.At(rid, 0)
+				v := y.At(lo+i, 0) / (1 + math.Exp(inner))
+				p.Set(i, 0, v)
+				scatter[rid] += v
+			}
+			gradS.AddInPlace(la.TMatMul(c, p))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		gradR := la.TMatMul(nt.R, la.ColVector(scatter)) // Rᵀ·(Kᵀp)
+		for j := 0; j < dS; j++ {
+			w.Set(j, 0, w.At(j, 0)+alpha*gradS.At(j, 0))
+		}
+		for j := 0; j < dR; j++ {
+			w.Set(dS+j, 0, w.At(dS+j, 0)+alpha*gradR.At(j, 0))
+		}
+	}
+	return &LogRegResult{W: w, BytesRead: bytesRead}, nil
+}

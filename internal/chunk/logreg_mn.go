@@ -1,0 +1,166 @@
+package chunk
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+)
+
+// MNTable is the out-of-core normalized matrix for an M:N join (Table 10):
+// base tables S and R are chunked on disk, and the join is represented by
+// the IS/IR row-selector columns, also chunked, with |T'| rows each. The
+// materialized alternative would store |T'|·(dS+dR) cells — the quantity
+// that explodes as the join-attribute domain shrinks.
+type MNTable struct {
+	S  *Matrix    // nS×dS
+	R  *Matrix    // nR×dR
+	IS *IntVector // |T'|×1
+	IR *IntVector // |T'|×1
+}
+
+// NewMNTable validates the selector alignment.
+func NewMNTable(s, r *Matrix, is, ir *IntVector) (*MNTable, error) {
+	if is.m.rows != ir.m.rows {
+		return nil, fmt.Errorf("chunk: IS has %d rows but IR has %d", is.m.rows, ir.m.rows)
+	}
+	if is.m.chunkRows != ir.m.chunkRows {
+		return nil, fmt.Errorf("chunk: IS chunked by %d rows but IR by %d", is.m.chunkRows, ir.m.chunkRows)
+	}
+	return &MNTable{S: s, R: r, IS: is, IR: ir}, nil
+}
+
+// OutputRows reports |T'|, the join output cardinality.
+func (t *MNTable) OutputRows() int { return t.IS.m.rows }
+
+// LogRegFactorizedMN runs factorized logistic regression over the
+// out-of-core M:N join. Per iteration it makes one pass over S and R to
+// compute the partial inner products (nS- and nR-length vectors held in
+// memory), one pass over the selector columns to form the per-output-tuple
+// coefficients, and one more pass over S and R for the gradients — total
+// I/O proportional to the base tables plus two key columns, never to
+// |T'|·(dS+dR).
+func LogRegFactorizedMN(t *MNTable, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
+	n := t.OutputRows()
+	if y.Rows() != n || y.Cols() != 1 {
+		return nil, fmt.Errorf("chunk: labels are %dx%d, want %dx1", y.Rows(), y.Cols(), n)
+	}
+	if iters <= 0 {
+		return nil, fmt.Errorf("chunk: iters must be positive")
+	}
+	dS, dR := t.S.cols, t.R.cols
+	w := la.NewDense(dS+dR, 1)
+	var bytesRead int64
+	track := func(c *la.Dense) { bytesRead += int64(c.Rows()) * int64(c.Cols()) * 8 }
+	for it := 0; it < iters; it++ {
+		wS := la.NewDenseData(dS, 1, w.Data()[:dS])
+		wR := la.NewDenseData(dR, 1, w.Data()[dS:])
+		// Pass 1: partial inner products for every base tuple.
+		sw := make([]float64, t.S.rows)
+		if err := t.S.ForEach(func(lo int, c *la.Dense) error {
+			track(c)
+			p := la.MatMul(c, wS)
+			copy(sw[lo:lo+c.Rows()], p.Data())
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		rw := make([]float64, t.R.rows)
+		if err := t.R.ForEach(func(lo int, c *la.Dense) error {
+			track(c)
+			p := la.MatMul(c, wR)
+			copy(rw[lo:lo+c.Rows()], p.Data())
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		// Pass 2: stream the selectors, scatter coefficients per base row.
+		cs := make([]float64, t.S.rows)
+		cr := make([]float64, t.R.rows)
+		ci := 0
+		err := t.IS.m.ForEach(func(lo int, isChunk *la.Dense) error {
+			track(isChunk)
+			loK, hiK := t.IR.m.chunkBounds(ci)
+			irChunk, err := readChunk(t.IR.m.paths[ci], hiK-loK, 1)
+			if err != nil {
+				return err
+			}
+			track(irChunk)
+			ci++
+			for i := 0; i < isChunk.Rows(); i++ {
+				si := int(isChunk.At(i, 0))
+				ri := int(irChunk.At(i, 0))
+				inner := sw[si] + rw[ri]
+				v := y.At(lo+i, 0) / (1 + math.Exp(inner))
+				cs[si] += v
+				cr[ri] += v
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Pass 3: gradients gradS = Sᵀ·cs, gradR = Rᵀ·cr.
+		gradS := la.NewDense(dS, 1)
+		if err := t.S.ForEach(func(lo int, c *la.Dense) error {
+			track(c)
+			gradS.AddInPlace(la.TMatMul(c, la.ColVector(cs[lo:lo+c.Rows()])))
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		gradR := la.NewDense(dR, 1)
+		if err := t.R.ForEach(func(lo int, c *la.Dense) error {
+			track(c)
+			gradR.AddInPlace(la.TMatMul(c, la.ColVector(cr[lo:lo+c.Rows()])))
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		for j := 0; j < dS; j++ {
+			w.Set(j, 0, w.At(j, 0)+alpha*gradS.At(j, 0))
+		}
+		for j := 0; j < dR; j++ {
+			w.Set(dS+j, 0, w.At(dS+j, 0)+alpha*gradR.At(j, 0))
+		}
+	}
+	return &LogRegResult{W: w, BytesRead: bytesRead}, nil
+}
+
+// MaterializeMN spills the joined table [IS·S, IR·R] to chunked storage —
+// the baseline input for Table 10. It streams selector chunks and gathers
+// base rows, so building it costs the full |T'|·(dS+dR) write.
+func MaterializeMN(store *Store, t *MNTable) (*Matrix, error) {
+	sD, err := t.S.Dense()
+	if err != nil {
+		return nil, err
+	}
+	rD, err := t.R.Dense()
+	if err != nil {
+		return nil, err
+	}
+	dS, dR := sD.Cols(), rD.Cols()
+	n := t.OutputRows()
+	out := &Matrix{store: store, rows: n, cols: dS + dR, chunkRows: t.IS.m.chunkRows}
+	ci := 0
+	err = t.IS.m.ForEach(func(lo int, isChunk *la.Dense) error {
+		loK, hiK := t.IR.m.chunkBounds(ci)
+		irChunk, err := readChunk(t.IR.m.paths[ci], hiK-loK, 1)
+		if err != nil {
+			return err
+		}
+		ci++
+		buf := la.NewDense(isChunk.Rows(), dS+dR)
+		for i := 0; i < isChunk.Rows(); i++ {
+			copy(buf.Row(i)[:dS], sD.Row(int(isChunk.At(i, 0))))
+			copy(buf.Row(i)[dS:], rD.Row(int(irChunk.At(i, 0))))
+		}
+		path := store.newPath()
+		out.paths = append(out.paths, path)
+		return writeChunk(path, buf)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

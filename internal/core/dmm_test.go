@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/la"
+)
+
+// randPKFKDims builds a PK-FK normalized matrix with exact dimensions.
+func randPKFKDims(rng *rand.Rand, nS, dS, nR, dR int) *NormalizedMatrix {
+	m, err := NewPKFK(randMat(rng, nS, dS), randIndicator(rng, nS, nR), randMat(rng, nR, dR))
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// TestDMM checks appendix C: A·B over normalized matrices where dA = nB.
+func TestDMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 10; trial++ {
+		dSA, dRA := 1+rng.Intn(4), 1+rng.Intn(4)
+		nA := 8 + rng.Intn(20)
+		nB := dSA + dRA // dA == nB
+		dSB, dRB := 1+rng.Intn(4), 1+rng.Intn(4)
+		// SB must have at least dSA rows to split; nB = dSA+dRA ≥ dSA+1 ✓.
+		a := randPKFKDims(rng, nA, dSA, 2+rng.Intn(4), dRA)
+		b := randPKFKDims(rng, nB, dSB, 2+rng.Intn(4), dRB)
+		got, err := a.MulNorm(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := la.MatMul(a.Dense(), b.Dense())
+		if la.MaxAbsDiff(got, want) > tol {
+			t.Fatalf("DMM mismatch: %g", la.MaxAbsDiff(got, want))
+		}
+	}
+}
+
+// TestDMMTT checks AᵀBᵀ → (BA)ᵀ.
+func TestDMMTT(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	dSB, dRB := 2, 3
+	nB := 15
+	nA := dSB + dRB // BA needs dB == nA
+	a := randPKFKDims(rng, nA, 2, 3, 4)
+	b := randPKFKDims(rng, nB, dSB, 4, dRB)
+	got, err := a.MulNormTT(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := la.MatMul(a.Dense().TDense(), b.Dense().TDense())
+	if la.MaxAbsDiff(got, want) > tol {
+		t.Fatal("transposed DMM mismatch")
+	}
+}
+
+// TestDMMNT checks A·Bᵀ for all three dSA vs dSB cases.
+func TestDMMNT(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	cases := []struct{ dSA, dRA, dSB, dRB int }{
+		{3, 2, 3, 2}, // dSA == dSB
+		{2, 4, 3, 3}, // dSA < dSB
+		{4, 2, 2, 4}, // dSA > dSB
+	}
+	for _, c := range cases {
+		a := randPKFKDims(rng, 12, c.dSA, 3, c.dRA)
+		b := randPKFKDims(rng, 9, c.dSB, 4, c.dRB)
+		got, err := a.MulNormNT(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := la.MatMulT(a.Dense(), b.Dense())
+		if la.MaxAbsDiff(got, want) > tol {
+			t.Fatalf("DMM NT mismatch for dims %+v: %g", c, la.MaxAbsDiff(got, want))
+		}
+	}
+}
+
+// TestDMMTN checks AᵀB (the four-tile rewrite) and that the sparse count
+// matrix bound nnz(KAᵀKB) ≤ nS holds implicitly via correctness.
+func TestDMMTN(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 8; trial++ {
+		n := 10 + rng.Intn(20)
+		a := randPKFKDims(rng, n, 1+rng.Intn(3), 2+rng.Intn(4), 1+rng.Intn(3))
+		b := randPKFKDims(rng, n, 1+rng.Intn(3), 2+rng.Intn(4), 1+rng.Intn(3))
+		got, err := a.MulNormTN(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := la.TMatMul(a.Dense(), b.Dense())
+		if la.MaxAbsDiff(got, want) > tol {
+			t.Fatal("DMM TN mismatch")
+		}
+	}
+}
+
+// TestDMMGramDegenerate: AᵀA via the TN rewrite must match CrossProd.
+func TestDMMGramDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a := randPKFKDims(rng, 25, 3, 4, 2)
+	got, err := a.MulNormTN(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.MaxAbsDiff(got, a.CrossProd()) > 1e-8 {
+		t.Fatal("AᵀA != crossprod(A)")
+	}
+}
+
+func TestDMMShapeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	a := randPKFKDims(rng, 10, 2, 3, 3)
+	b := randPKFKDims(rng, 9, 2, 3, 2) // dA=5 != nB=9
+	if _, err := a.MulNorm(b); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	// Multi-table input rejected.
+	star := randStar(rng)
+	if _, err := star.MulNorm(a); err != ErrDMMShape {
+		t.Fatalf("want ErrDMMShape, got %v", err)
+	}
+	// Transposed input rejected (callers use MulNormTT et al.).
+	if _, err := a.Transpose().MulNorm(b); err != ErrDMMShape {
+		t.Fatalf("want ErrDMMShape, got %v", err)
+	}
+}
+
+func TestHeuristicRule(t *testing.T) {
+	adv := DefaultAdvisor()
+	// High TR, high FR: factorize.
+	if !adv.ShouldFactorize(Stats{TupleRatio: 20, FeatureRatio: 4}) {
+		t.Fatal("should factorize at TR=20, FR=4")
+	}
+	// Low TR: don't, regardless of FR.
+	if adv.ShouldFactorize(Stats{TupleRatio: 2, FeatureRatio: 4}) {
+		t.Fatal("should not factorize at TR=2")
+	}
+	// Low FR: don't.
+	if adv.ShouldFactorize(Stats{TupleRatio: 20, FeatureRatio: 0.5}) {
+		t.Fatal("should not factorize at FR=0.5")
+	}
+	// Boundary: thresholds are inclusive.
+	if !adv.ShouldFactorize(Stats{TupleRatio: 5, FeatureRatio: 1}) {
+		t.Fatal("boundary should factorize")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	m := randPKFKDims(rng, 100, 4, 10, 8)
+	st := m.ComputeStats()
+	if st.NS != 100 || st.NR != 10 || st.DS != 4 || st.DR != 8 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.TupleRatio != 10 || st.FeatureRatio != 2 {
+		t.Fatalf("ratios %+v", st)
+	}
+	// Redundancy = nS·d / (nS·dS + nR·dR) = 1200/480.
+	if st.Redundancy != 1200.0/480.0 {
+		t.Fatalf("redundancy %v", st.Redundancy)
+	}
+	if !DefaultAdvisor().Decide(m) {
+		t.Fatal("advisor should factorize TR=10 FR=2")
+	}
+	// dS = 0 datasets report FeatureRatio = DR.
+	m2, err := NewPKFK(nil, randIndicator(rng, 50, 5), randMat(rng, 5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.ComputeStats().FeatureRatio; got != 7 {
+		t.Fatalf("dS=0 feature ratio %v", got)
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+// Stats summarizes the data-dimension statistics the heuristic decision
+// rule of §3.7/§5.1 thresholds on.
+type Stats struct {
+	// NS is the number of rows of T; DS the entity feature width.
+	NS, DS int
+	// NR and DR aggregate the attribute tables: NR is the largest
+	// attribute-table row count (the binding constraint for redundancy),
+	// DR the total attribute feature width.
+	NR, DR int
+	// TupleRatio is nS/nR and FeatureRatio dR/dS (paper §3.4). A missing
+	// denominator (dS == 0) yields +Inf-like large ratios, reported as
+	// the numerator to keep the rule conservative.
+	TupleRatio   float64
+	FeatureRatio float64
+	// Redundancy is size(T) / (size(S)+ΣRi), the storage blow-up the
+	// join introduces; > 1 means the factorized form is smaller.
+	Redundancy float64
+}
+
+// ComputeStats derives Stats from the normalized matrix dimensions.
+func (m *NormalizedMatrix) ComputeStats() Stats {
+	st := Stats{NS: m.nRows, DS: m.dS()}
+	baseCells := 0
+	if m.s != nil {
+		baseCells += m.s.Rows() * m.s.Cols()
+	}
+	for _, r := range m.rs {
+		if r.Rows() > st.NR {
+			st.NR = r.Rows()
+		}
+		st.DR += r.Cols()
+		baseCells += r.Rows() * r.Cols()
+	}
+	if st.NR > 0 {
+		st.TupleRatio = float64(st.NS) / float64(st.NR)
+	}
+	if st.DS > 0 {
+		st.FeatureRatio = float64(st.DR) / float64(st.DS)
+	} else {
+		st.FeatureRatio = float64(st.DR)
+	}
+	if baseCells > 0 {
+		st.Redundancy = float64(st.NS*m.dCols) / float64(baseCells)
+	}
+	return st
+}
+
+// Advisor is the heuristic decision rule of §3.7: a disjunctive predicate
+// with two conservatively tuned thresholds. If the tuple ratio is below Tau
+// or the feature ratio below Rho, the factorized rewrites are predicted to
+// not pay off and the materialized path should be used.
+type Advisor struct {
+	Tau float64 // tuple-ratio threshold (paper: 5)
+	Rho float64 // feature-ratio threshold (paper: 1)
+}
+
+// DefaultAdvisor returns the thresholds tuned in §5.1 (τ=5, ρ=1).
+func DefaultAdvisor() Advisor { return Advisor{Tau: 5, Rho: 1} }
+
+// ShouldFactorize predicts whether factorized execution will be faster for
+// data with the given statistics.
+func (a Advisor) ShouldFactorize(st Stats) bool {
+	return st.TupleRatio >= a.Tau && st.FeatureRatio >= a.Rho
+}
+
+// Decide applies the rule directly to a normalized matrix.
+func (a Advisor) Decide(m *NormalizedMatrix) bool {
+	return a.ShouldFactorize(m.ComputeStats())
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/la"
+)
+
+// --- Element-wise scalar operators (§3.3.1, §3.5, appendix A/D/E) ---
+//
+// T ∘ x → (S ∘ x, K1..Kq, R1 ∘ x, ..., Rq ∘ x); the indicators are shared
+// and the transpose flag is preserved, so the result stays normalized and
+// later operators keep exploiting the factorized form.
+
+func (m *NormalizedMatrix) mapParts(f func(la.Mat) la.Mat) *NormalizedMatrix {
+	var s la.Mat
+	if m.s != nil {
+		s = f(m.s)
+	}
+	rs := make([]la.Mat, len(m.rs))
+	for i, r := range m.rs {
+		rs[i] = f(r)
+	}
+	return m.withParts(s, rs)
+}
+
+// Scale implements T * x.
+func (m *NormalizedMatrix) Scale(x float64) la.Matrix { return m.ScaleNorm(x) }
+
+// ScaleNorm is Scale with a concrete return type.
+func (m *NormalizedMatrix) ScaleNorm(x float64) *NormalizedMatrix {
+	return m.mapParts(func(p la.Mat) la.Mat { return p.ScaleM(x) })
+}
+
+// AddScalar implements T + x.
+func (m *NormalizedMatrix) AddScalar(x float64) la.Matrix {
+	return m.mapParts(func(p la.Mat) la.Mat { return p.AddScalarM(x) })
+}
+
+// Pow implements T ^ p element-wise.
+func (m *NormalizedMatrix) Pow(p float64) la.Matrix { return m.PowNorm(p) }
+
+// PowNorm is Pow with a concrete return type.
+func (m *NormalizedMatrix) PowNorm(p float64) *NormalizedMatrix {
+	return m.mapParts(func(q la.Mat) la.Mat { return q.PowM(p) })
+}
+
+// Apply implements f(T) for a scalar function f.
+func (m *NormalizedMatrix) Apply(f func(float64) float64) la.Matrix {
+	return m.mapParts(func(p la.Mat) la.Mat { return p.ApplyM(f) })
+}
+
+// --- Aggregation operators (§3.3.2, §3.5, appendix A/D/E) ---
+
+// rowSumsRaw computes rowSums over the untransposed T:
+//
+//	rowSums(T) → IS·rowSums(S) + Σ Ki·rowSums(Ri)
+func (m *NormalizedMatrix) rowSumsRaw() *la.Dense {
+	out := make([]float64, m.nRows)
+	if m.s != nil {
+		sv := m.s.RowSums().Data()
+		if m.is == nil {
+			copy(out, sv)
+		} else {
+			for i, c := range m.is.Assignments() {
+				out[i] = sv[c]
+			}
+		}
+	}
+	for i, k := range m.ks {
+		rv := m.rs[i].RowSums().Data()
+		for r, c := range k.Assignments() {
+			out[r] += rv[c]
+		}
+	}
+	return la.ColVector(out)
+}
+
+// colSumsRaw computes colSums over the untransposed T:
+//
+//	colSums(T) → [colSums(IS)·S, colSums(K1)·R1, ..., colSums(Kq)·Rq]
+func (m *NormalizedMatrix) colSumsRaw() *la.Dense {
+	parts := make([]*la.Dense, 0, len(m.ks)+1)
+	if m.s != nil {
+		if m.is == nil {
+			parts = append(parts, m.s.ColSums())
+		} else {
+			parts = append(parts, m.s.LeftMul(la.RowVector(m.is.ColCounts())))
+		}
+	}
+	for i, k := range m.ks {
+		parts = append(parts, m.rs[i].LeftMul(la.RowVector(k.ColCounts())))
+	}
+	return la.HCat(parts...)
+}
+
+// RowSums returns the n×1 row-sum vector; on a transposed matrix it is
+// rewritten as colSums(T)ᵀ (appendix A).
+func (m *NormalizedMatrix) RowSums() *la.Dense {
+	if m.trans {
+		return m.colSumsRaw().TDense()
+	}
+	return m.rowSumsRaw()
+}
+
+// ColSums returns the 1×d column-sum vector; on a transposed matrix it is
+// rewritten as rowSums(T)ᵀ (appendix A).
+func (m *NormalizedMatrix) ColSums() *la.Dense {
+	if m.trans {
+		return m.rowSumsRaw().TDense()
+	}
+	return m.colSumsRaw()
+}
+
+// Sum computes the grand total:
+//
+//	sum(T) → colSums(IS)·rowSums(S) + Σ colSums(Ki)·rowSums(Ri)
+//
+// sum(Tᵀ) = sum(T), so the transpose flag is irrelevant.
+func (m *NormalizedMatrix) Sum() float64 {
+	total := 0.0
+	if m.s != nil {
+		if m.is == nil {
+			total += m.s.Sum()
+		} else {
+			total += weightedSum(m.is.ColCounts(), m.s.RowSums().Data())
+		}
+	}
+	for i, k := range m.ks {
+		total += weightedSum(k.ColCounts(), m.rs[i].RowSums().Data())
+	}
+	return total
+}
+
+func weightedSum(w, v []float64) float64 {
+	s := 0.0
+	for i, x := range w {
+		s += x * v[i]
+	}
+	return s
+}
+
+// --- Multiplication operators (§3.3.3, §3.3.4, §3.5, appendix A/D/E) ---
+
+// mulRaw computes the factorized LMM over the untransposed T:
+//
+//	TX → IS·(S·X[1:dS,]) + Σ Ki·(Ri·X[d'i-1+1 : d'i,])
+//
+// The multiplication order Ki·(Ri·Xi) — never (Ki·Ri)·Xi — is what avoids
+// re-materializing the join (§3.3.3).
+func (m *NormalizedMatrix) mulRaw(x *la.Dense) *la.Dense {
+	if x.Rows() != m.dCols {
+		panicShape("LMM", m.nRows, m.dCols, x)
+	}
+	offs := m.colOffsets()
+	var out *la.Dense
+	if m.s != nil {
+		sx := m.s.Mul(x.SliceRowsDense(0, offs[0]))
+		if m.is != nil {
+			sx = m.is.Mul(sx)
+		}
+		out = sx
+	} else {
+		out = la.NewDense(m.nRows, x.Cols())
+	}
+	for i, k := range m.ks {
+		ri := m.rs[i].Mul(x.SliceRowsDense(offs[i], offs[i+1]))
+		addGather(out, k, ri)
+	}
+	return out
+}
+
+// addGather accumulates out += K·Z without materializing K·Z. Each output
+// row is written exactly once per call, so rows parallelize safely.
+func addGather(out *la.Dense, k *la.Indicator, z *la.Dense) {
+	assign := k.Assignments()
+	la.ParallelRows(len(assign), len(assign)*z.Cols(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst := out.Row(i)
+			src := z.Row(int(assign[i]))
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+	})
+}
+
+// tMulRaw computes the transposed LMM TᵀX over the untransposed parts:
+//
+//	TᵀX → [ Sᵀ·(ISᵀ·X) ; R1ᵀ·(K1ᵀ·X) ; ... ]  (stacked),
+//
+// which is the [PS, (PK)R]ᵀ pattern the factorized ML algorithms in §4 use.
+func (m *NormalizedMatrix) tMulRaw(x *la.Dense) *la.Dense {
+	if x.Rows() != m.nRows {
+		panicShape("transposed LMM", m.dCols, m.nRows, x)
+	}
+	parts := make([]*la.Dense, 0, len(m.ks)+1)
+	if m.s != nil {
+		xs := x
+		if m.is != nil {
+			xs = m.is.TMul(x)
+		}
+		parts = append(parts, m.s.TMul(xs))
+	}
+	for i, k := range m.ks {
+		parts = append(parts, m.rs[i].TMul(k.TMul(x)))
+	}
+	return la.VCat(parts...)
+}
+
+// leftMulRaw computes the factorized RMM over the untransposed T:
+//
+//	XT → [ (X·IS)·S , (X·K1)·R1 , ... , (X·Kq)·Rq ]
+func (m *NormalizedMatrix) leftMulRaw(x *la.Dense) *la.Dense {
+	if x.Cols() != m.nRows {
+		panicShape("RMM", m.nRows, m.dCols, x)
+	}
+	parts := make([]*la.Dense, 0, len(m.ks)+1)
+	if m.s != nil {
+		xs := x
+		if m.is != nil {
+			xs = m.is.LeftMul(x)
+		}
+		parts = append(parts, m.s.LeftMul(xs))
+	}
+	for i, k := range m.ks {
+		parts = append(parts, m.rs[i].LeftMul(k.LeftMul(x)))
+	}
+	return la.HCat(parts...)
+}
+
+// Mul computes T·X (LMM); on a transposed matrix it computes Tᵀ·X via the
+// stacked transposed-LMM rewrite.
+func (m *NormalizedMatrix) Mul(x *la.Dense) *la.Dense {
+	if m.trans {
+		return m.tMulRaw(x)
+	}
+	return m.mulRaw(x)
+}
+
+// LeftMul computes X·T (RMM); on a transposed matrix, X·Tᵀ → (T·Xᵀ)ᵀ
+// (appendix A).
+func (m *NormalizedMatrix) LeftMul(x *la.Dense) *la.Dense {
+	if m.trans {
+		return m.mulRaw(x.TDense()).TDense()
+	}
+	return m.leftMulRaw(x)
+}
+
+func panicShape(op string, rows, cols int, x *la.Dense) {
+	panic(fmt.Sprintf("core: %s shape mismatch: %dx%d with %dx%d", op, rows, cols, x.Rows(), x.Cols()))
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/la"
+)
+
+// TestQuickAllOperatorsAllSchemas is the repository's central property
+// test: for arbitrary seeds, build a random normalized matrix of a random
+// schema kind and orientation, pick a random operator of Table 1, and
+// assert the factorized result equals the materialized one.
+func TestQuickAllOperatorsAllSchemas(t *testing.T) {
+	kinds := allKinds()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := kinds[rng.Intn(len(kinds))](rng)
+		md := m.Dense()
+		switch rng.Intn(10) {
+		case 0:
+			x := 0.5 + rng.Float64()
+			return la.MaxAbsDiff(m.Scale(x).Dense(), md.ScaleDense(x)) <= tol
+		case 1:
+			x := rng.NormFloat64()
+			return la.MaxAbsDiff(m.AddScalar(x).Dense(), md.AddScalarDense(x)) <= tol
+		case 2:
+			return la.MaxAbsDiff(m.Apply(math.Tanh).Dense(), md.ApplyDense(math.Tanh)) <= tol
+		case 3:
+			return la.MaxAbsDiff(m.RowSums(), md.RowSums()) <= 1e-8
+		case 4:
+			return la.MaxAbsDiff(m.ColSums(), md.ColSums()) <= 1e-8
+		case 5:
+			return math.Abs(m.Sum()-md.Sum()) <= 1e-7
+		case 6:
+			x := randDense(rng, m.Cols(), 1+rng.Intn(3))
+			return la.MaxAbsDiff(m.Mul(x), la.MatMul(md, x)) <= 1e-8
+		case 7:
+			x := randDense(rng, 1+rng.Intn(3), m.Rows())
+			return la.MaxAbsDiff(m.LeftMul(x), la.MatMul(x, md)) <= 1e-8
+		case 8:
+			return la.MaxAbsDiff(m.CrossProd(), md.CrossProd()) <= 1e-7
+		default:
+			return la.MaxAbsDiff(m.CrossProdNaive(), md.CrossProd()) <= 1e-7
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOperatorComposition checks that chains of normalized-preserving
+// operators accumulate no divergence from the materialized chain.
+func TestQuickOperatorComposition(t *testing.T) {
+	kinds := allKinds()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := kinds[rng.Intn(len(kinds))](rng)
+		md := la.Matrix(m.Dense())
+		cur := la.Matrix(m)
+		for step := 0; step < 4; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				x := 0.5 + rng.Float64()
+				cur, md = cur.Scale(x), md.Scale(x)
+			case 1:
+				cur, md = cur.Apply(math.Tanh), md.Apply(math.Tanh)
+			case 2:
+				cur, md = cur.Pow(2), md.Pow(2)
+			default:
+				cur, md = cur.T(), md.T()
+			}
+		}
+		if cur.Rows() != md.Rows() || cur.Cols() != md.Cols() {
+			return false
+		}
+		return la.MaxAbsDiff(cur.Dense(), md.Dense()) <= 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGinvMoorePenrose checks the Moore-Penrose conditions for the
+// factorized pseudo-inverse on random normalized matrices.
+func TestQuickGinvMoorePenrose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randPKFK(rng)
+		a := m.Dense()
+		g := m.Ginv()
+		aga := la.MatMul(la.MatMul(a, g), a)
+		gag := la.MatMul(la.MatMul(g, a), g)
+		scale := 1 + symMax(a)
+		return la.MaxAbsDiff(aga, a) < 1e-5*scale && la.MaxAbsDiff(gag, g) < 1e-5*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func symMax(a *la.Dense) float64 {
+	m := 0.0
+	for _, v := range a.Data() {
+		if av := math.Abs(v); av > m {
+			m = av
+		}
+	}
+	return m
+}

@@ -1,0 +1,139 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5 and the appendix) at configurable scale. Each experiment
+// returns a Result whose rows mirror the series the paper plots: the
+// materialized runtime (M), the factorized runtime (F), and their ratio.
+//
+// Absolute numbers differ from the paper (different hardware, R/BLAS
+// replaced by the Go substrate); the shapes — who wins, how speed-ups grow
+// with tuple ratio and feature ratio, where the low-ratio crossover region
+// lies — are the reproduction target. EXPERIMENTS.md records both.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID     string // e.g. "fig3", "table7"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// Format renders the result as an aligned text table.
+func (r Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for j, h := range r.Header {
+		widths[j] = len(h)
+	}
+	for _, row := range r.Rows {
+		for j, c := range row {
+			if j < len(widths) && len(c) > widths[j] {
+				widths[j] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for j, c := range cells {
+			if j > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[j], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(&sb, "note: %s\n", r.Notes)
+	}
+	return sb.String()
+}
+
+// Config scales the experiment workloads. Scale=1 is the laptop-friendly
+// default documented in DESIGN.md; larger values move dimensions toward the
+// paper's (at proportionally larger runtimes).
+type Config struct {
+	Scale float64
+	Seed  int64
+	// TmpDir hosts the out-of-core chunk stores (Tables 9, 10).
+	TmpDir string
+}
+
+// DefaultConfig returns Scale=1, Seed=1.
+func DefaultConfig() Config { return Config{Scale: 1, Seed: 1} }
+
+func (c Config) scaled(n int) int {
+	v := int(float64(n) * c.Scale)
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Runner is an experiment entry point.
+type Runner func(Config) (Result, error)
+
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) { registry[id] = r }
+
+// IDs lists the registered experiment IDs in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, cfg Config) (Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Result{}, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r(cfg)
+}
+
+// timeIt measures fn, repeating short runs and keeping the minimum so that
+// sub-20ms operator timings are not dominated by scheduler/GC noise.
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	best := time.Since(start)
+	if best >= 20*time.Millisecond {
+		return best
+	}
+	reps := int(20*time.Millisecond/(best+time.Microsecond)) + 1
+	if reps > 15 {
+		reps = 15
+	}
+	for i := 0; i < reps; i++ {
+		s := time.Now()
+		fn()
+		if d := time.Since(s); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func secs(d time.Duration) string { return fmt.Sprintf("%.4f", d.Seconds()) }
+
+func ratio(m, f time.Duration) string {
+	if f <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", float64(m)/float64(f))
+}

@@ -1,0 +1,376 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/datagen"
+	"repro/internal/la"
+	"repro/internal/ml"
+	"repro/internal/orion"
+	"repro/internal/realdata"
+)
+
+// realDataScale shrinks the Table 6 datasets; 100 keeps every dataset's
+// materialized form in memory while preserving its TR/FR profile.
+const realDataScale = 100
+
+// table7 regenerates Table 7: materialized runtimes and Morpheus speed-ups
+// for the four ML algorithms on the seven real-data clones. The
+// materialized baseline runs over the sparse CSR join output, matching the
+// paper's sparse real-data representation.
+func table7(cfg Config) (Result, error) {
+	res := Result{
+		ID:     "table7",
+		Title:  "Real-data clones: materialized runtime and Morpheus speed-up (Table 7)",
+		Header: []string{"dataset", "algo", "M(s)", "F(s)", "speedup"},
+		Notes:  fmt.Sprintf("Table 6 statistics scaled down %dx; 20 iters, 10 centroids, 5 topics as in the paper", int(float64(realDataScale)/cfg.Scale)),
+	}
+	scale := int(float64(realDataScale) / cfg.Scale)
+	if scale < 1 {
+		scale = 1
+	}
+	for _, spec := range realdata.Specs() {
+		ds, err := realdata.Generate(spec.Scaled(scale), cfg.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		nm := ds.Norm
+		sp := nm.Sparse() // materialized sparse T
+		yb := ds.BinaryY()
+		yn := ds.Y
+		k := 10 // paper's centroid count; clamped for miniature test scales
+		if nm.Rows() < k {
+			k = nm.Rows()
+		}
+		cases := []struct {
+			name string
+			run  func(t la.Matrix)
+		}{
+			// Linear regression uses GD, the paper's own fallback when d
+			// is large (§4): the one-hot real datasets have d in the tens
+			// of thousands, where a d×d inversion is off the table.
+			{"linreg", func(t la.Matrix) {
+				if _, err := ml.LinearRegressionGD(t, yn, nil, ml.Options{Iters: mlIters, StepSize: 1e-7}); err != nil {
+					panic(err)
+				}
+			}},
+			{"logreg", func(t la.Matrix) {
+				if _, err := ml.LogisticRegressionGD(t, yb, nil, ml.Options{Iters: mlIters, StepSize: 1e-6}); err != nil {
+					panic(err)
+				}
+			}},
+			{"kmeans", func(t la.Matrix) {
+				if _, err := ml.KMeans(t, k, ml.Options{Iters: mlIters, Seed: 7}); err != nil {
+					panic(err)
+				}
+			}},
+			{"gnmf", func(t la.Matrix) {
+				if _, err := ml.GNMF(t, 5, ml.Options{Iters: mlIters, Seed: 7}); err != nil {
+					panic(err)
+				}
+			}},
+		}
+		for _, c := range cases {
+			mT := timeIt(func() { c.run(sp) })
+			fT := timeIt(func() { c.run(nm) })
+			res.Rows = append(res.Rows, []string{spec.Name, c.name, secs(mT), secs(fT), ratio(mT, fT)})
+		}
+	}
+	return res, nil
+}
+
+// table8 regenerates Table 8: Morpheus vs the Orion baseline on factorized
+// logistic regression across feature ratios. Both report speed-up over the
+// same materialized run.
+func table8(cfg Config) (Result, error) {
+	res := Result{
+		ID:     "table8",
+		Title:  "Factorized logistic regression speed-up over materialized: Orion vs Morpheus (Table 8)",
+		Header: []string{"FR", "M(s)", "Orion(s)", "Morpheus(s)", "Orion speedup", "Morpheus speedup"},
+		Notes:  "paper setting (nS,nR,dS,iters)=(2e6,1e5,20,10), scaled down; Morpheus >= Orion because Orion pays hash-lookup overheads",
+	}
+	// nS must be large enough that kernel time dominates dispatch
+	// overheads, or the Orion-vs-Morpheus ordering inverts; 80k rows at
+	// Scale=1 is the smallest size that reproduces the paper's shape.
+	nR := cfg.scaled(4000)
+	nS := 20 * nR
+	dS := 20
+	const iters = 10
+	const alpha = 1e-6
+	for _, frInt := range []int{1, 2, 3, 4} {
+		dR := frInt * dS
+		nm, err := datagen.PKFK(datagen.PKFKSpec{NS: nS, DS: dS, NR: nR, DR: dR, Seed: cfg.Seed})
+		if err != nil {
+			return Result{}, err
+		}
+		y := datagen.Labels(nm, 0, true, cfg.Seed)
+		td := nm.Dense()
+		sD := nm.S().Dense()
+		rD := nm.Rs()[0].Dense()
+		fk := nm.Ks()[0].Assignments()
+		glm, err := orion.NewGLM(sD, rD, fk)
+		if err != nil {
+			return Result{}, err
+		}
+		opt := ml.Options{Iters: iters, StepSize: alpha}
+		mT := timeIt(func() { ml.LogisticRegressionGD(td, y, nil, opt) })
+		oT := timeIt(func() { glm.LogisticGD(y, iters, alpha) })
+		fT := timeIt(func() { ml.LogisticRegressionGD(nm, y, nil, opt) })
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(frInt), secs(mT), secs(oT), secs(fT), ratio(mT, oT), ratio(mT, fT)})
+	}
+	return res, nil
+}
+
+func chunkStore(cfg Config, name string) (*chunk.Store, func(), error) {
+	dir := cfg.TmpDir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "morpheus-"+name+"-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := chunk.NewStore(d)
+		if err != nil {
+			return nil, nil, err
+		}
+		return st, func() { os.RemoveAll(d) }, nil
+	}
+	st, err := chunk.NewStore(dir)
+	return st, func() {}, err
+}
+
+// table9 regenerates Table 9: per-iteration logistic regression time on the
+// out-of-core (ORE-substitute) backend for a PK-FK join, sweeping the
+// feature ratio.
+func table9(cfg Config) (Result, error) {
+	res := Result{
+		ID:     "table9",
+		Title:  "Out-of-core logistic regression per-iteration time, PK-FK join (Table 9; ORE substitute)",
+		Header: []string{"FR", "M(s/iter)", "F(s/iter)", "speedup", "M bytes", "F bytes"},
+		Notes:  "paper: (nS,nR,dS)=(1e8,5e6,60) on Oracle R Enterprise; here the chunked on-disk backend at reduced scale",
+	}
+	st, cleanup, err := chunkStore(cfg, "table9")
+	if err != nil {
+		return Result{}, err
+	}
+	defer cleanup()
+	nR := cfg.scaled(1000)
+	nS := 20 * nR
+	dS := 60
+	const iters = 2
+	const chunkRows = 2048
+	for _, fr := range []float64{0.5, 1, 2, 4} {
+		dR := int(fr * float64(dS))
+		nm, err := datagen.PKFK(datagen.PKFKSpec{NS: nS, DS: dS, NR: nR, DR: dR, Seed: cfg.Seed})
+		if err != nil {
+			return Result{}, err
+		}
+		y := datagen.Labels(nm, 0, true, cfg.Seed)
+		td := nm.Dense()
+		tM, err := chunk.FromDense(st, td, chunkRows)
+		if err != nil {
+			return Result{}, err
+		}
+		sM, err := chunk.FromDense(st, nm.S().Dense(), chunkRows)
+		if err != nil {
+			return Result{}, err
+		}
+		fkv, err := chunk.BuildIntVector(st, nm.Ks()[0].Assignments(), chunkRows)
+		if err != nil {
+			return Result{}, err
+		}
+		nt, err := chunk.NewNormalizedTable(sM, fkv, nm.Rs()[0].Dense())
+		if err != nil {
+			return Result{}, err
+		}
+		var resM, resF *chunk.LogRegResult
+		mT := timeIt(func() {
+			var err error
+			resM, err = chunk.LogRegMaterialized(tM, y, iters, 1e-6)
+			if err != nil {
+				panic(err)
+			}
+		})
+		fT := timeIt(func() {
+			var err error
+			resF, err = chunk.LogRegFactorized(nt, y, iters, 1e-6)
+			if err != nil {
+				panic(err)
+			}
+		})
+		if la.MaxAbsDiff(resM.W, resF.W) > 1e-8 {
+			return Result{}, fmt.Errorf("table9: M and F weights diverged")
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(fr),
+			secs(time.Duration(int64(mT) / iters)), secs(time.Duration(int64(fT) / iters)),
+			ratio(mT, fT),
+			fmt.Sprint(resM.BytesRead), fmt.Sprint(resF.BytesRead)})
+	}
+	return res, nil
+}
+
+// table10 regenerates Table 10: out-of-core logistic regression on an M:N
+// join, sweeping the join-attribute domain size nU downward (more
+// redundancy) — the speed-up explodes as |T'| grows.
+func table10(cfg Config) (Result, error) {
+	res := Result{
+		ID:     "table10",
+		Title:  "Out-of-core logistic regression per-iteration time, M:N join (Table 10; ORE substitute)",
+		Header: []string{"nU", "|T'|", "M(s/iter)", "F(s/iter)", "speedup"},
+		Notes:  "paper: (nS,nR,dS,dR)=(1e6,1e6,200,200); speed-up grows as ~nS/nU, reaching ~300x at the paper's smallest domain",
+	}
+	st, cleanup, err := chunkStore(cfg, "table10")
+	if err != nil {
+		return Result{}, err
+	}
+	defer cleanup()
+	nS := cfg.scaled(2000)
+	d := 40
+	const iters = 2
+	const chunkRows = 2048
+	for _, frac := range []float64{0.5, 0.1, 0.05, 0.02} {
+		nU := int(frac * float64(nS))
+		if nU < 1 {
+			nU = 1
+		}
+		nm, err := datagen.MN(datagen.MNSpec{NS: nS, NR: nS, DS: d, DR: d, NU: nU, Seed: cfg.Seed})
+		if err != nil {
+			return Result{}, err
+		}
+		y := datagen.Labels(nm, 0, true, cfg.Seed)
+		sM, err := chunk.FromDense(st, nm.S().Dense(), chunkRows)
+		if err != nil {
+			return Result{}, err
+		}
+		rM, err := chunk.FromDense(st, nm.Rs()[0].Dense(), chunkRows)
+		if err != nil {
+			return Result{}, err
+		}
+		isV, err := chunk.BuildIntVector(st, nm.IS().Assignments(), chunkRows)
+		if err != nil {
+			return Result{}, err
+		}
+		irV, err := chunk.BuildIntVector(st, nm.Ks()[0].Assignments(), chunkRows)
+		if err != nil {
+			return Result{}, err
+		}
+		mn, err := chunk.NewMNTable(sM, rM, isV, irV)
+		if err != nil {
+			return Result{}, err
+		}
+		tM, err := chunk.MaterializeMN(st, mn)
+		if err != nil {
+			return Result{}, err
+		}
+		var resM, resF *chunk.LogRegResult
+		mT := timeIt(func() {
+			var err error
+			resM, err = chunk.LogRegMaterialized(tM, y, iters, 1e-7)
+			if err != nil {
+				panic(err)
+			}
+		})
+		fT := timeIt(func() {
+			var err error
+			resF, err = chunk.LogRegFactorizedMN(mn, y, iters, 1e-7)
+			if err != nil {
+				panic(err)
+			}
+		})
+		if la.MaxAbsDiff(resM.W, resF.W) > 1e-8 {
+			return Result{}, fmt.Errorf("table10: M and F weights diverged")
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(nU), fmt.Sprint(nm.Rows()),
+			secs(time.Duration(int64(mT) / iters)), secs(time.Duration(int64(fT) / iters)),
+			ratio(mT, fT)})
+	}
+	return res, nil
+}
+
+// table12 regenerates the appendix Table 12: data-preparation time (join
+// materialization for M, indicator construction for F) as a fraction of a
+// 20-iteration logistic regression run.
+func table12(cfg Config) (Result, error) {
+	res := Result{
+		ID:     "table12",
+		Title:  "Data preparation time vs logistic regression runtime (appendix Table 12)",
+		Header: []string{"dataset", "prep M(s)", "prep F(s)", "logreg M(s)", "logreg F(s)", "ratio M", "ratio F"},
+		Notes:  "prep M = materializing the sparse join output; prep F = rebuilding the indicator matrices; both are minor vs 20 training iterations",
+	}
+	scale := int(float64(realDataScale) / cfg.Scale)
+	if scale < 1 {
+		scale = 1
+	}
+	for _, spec := range realdata.Specs() {
+		ds, err := realdata.Generate(spec.Scaled(scale), cfg.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		nm := ds.Norm
+		yb := ds.BinaryY()
+		var sp *la.CSR
+		prepM := timeIt(func() { sp = nm.Sparse() })
+		prepF := timeIt(func() {
+			// Rebuild each indicator from its raw key column — the F-side
+			// preparation the paper measures (sparseMatrix(...) in §3.2).
+			for _, k := range nm.Ks() {
+				assign := k.Assignments()
+				raw := make([]int, len(assign))
+				for i, a := range assign {
+					raw[i] = int(a)
+				}
+				la.NewIndicator(raw, k.Cols())
+			}
+		})
+		opt := ml.Options{Iters: mlIters, StepSize: 1e-6}
+		mT := timeIt(func() { ml.LogisticRegressionGD(sp, yb, nil, opt) })
+		fT := timeIt(func() { ml.LogisticRegressionGD(nm, yb, nil, opt) })
+		res.Rows = append(res.Rows, []string{
+			spec.Name, secs(prepM), secs(prepF), secs(mT), secs(fT),
+			fmt.Sprintf("%.3f", prepM.Seconds()/math.Max(mT.Seconds(), 1e-9)),
+			fmt.Sprintf("%.3f", prepF.Seconds()/math.Max(fT.Seconds(), 1e-9))})
+	}
+	return res, nil
+}
+
+// mnml regenerates the appendix claim that the ML-algorithm results carry
+// over to M:N joins: the four algorithms on one M:N dataset.
+func mnml(cfg Config) (Result, error) {
+	res := Result{
+		ID:     "mnml",
+		Title:  "ML algorithms over an M:N join (appendix §5.2 remark)",
+		Header: []string{"algo", "nU/nS", "M(s)", "F(s)", "speedup"},
+	}
+	nS := cfg.scaled(1500)
+	for _, deg := range []float64{0.05, 0.2} {
+		nU := int(deg * float64(nS))
+		if nU < 1 {
+			nU = 1
+		}
+		nm, err := datagen.MN(datagen.MNSpec{NS: nS, NR: nS, DS: 30, DR: 30, NU: nU, Seed: cfg.Seed})
+		if err != nil {
+			return Result{}, err
+		}
+		y := datagen.Labels(nm, 0, true, cfg.Seed)
+		for _, a := range mlAlgos(10, 5) {
+			mT, fT := runAlgo(a, nm, y)
+			res.Rows = append(res.Rows, []string{a.name, fmt.Sprint(deg), secs(mT), secs(fT), ratio(mT, fT)})
+		}
+	}
+	return res, nil
+}
+
+func init() {
+	register("table7", table7)
+	register("table8", table8)
+	register("table9", table9)
+	register("table10", table10)
+	register("table12", table12)
+	register("mnml", mnml)
+}

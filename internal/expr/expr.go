@@ -1,0 +1,194 @@
+// Package expr is a lazy linear-algebra expression layer over la.Matrix:
+// the Go analogue of the LA scripts Morpheus rewrites in R. Expressions
+// build a DAG; Optimize applies the script-level rewrites the paper relies
+// on (fixing multiplication order, eliminating transposes, recognizing
+// cross-products) and Eval executes against any operand — handing a
+// normalized matrix to a leaf factorizes the whole script.
+//
+// Rewrites applied by Optimize:
+//
+//   - double-transpose elimination:        (Aᵀ)ᵀ → A
+//   - transpose-of-product rotation:       AᵀBᵀ → (BA)ᵀ
+//   - cross-product recognition:           Aᵀ·A → crossprod(A), which
+//     unlocks the factorized Algorithm 2 on normalized operands
+//   - scalar folding:                      a·(b·A) → (ab)·A
+//   - matrix chain reordering:             dynamic programming over known
+//     dimensions picks the cheapest parenthesization (the paper's
+//     mmtimes/matrix-chain-product optimization, §6)
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/la"
+)
+
+// Expr is a node in the expression DAG.
+type Expr interface {
+	// Rows and Cols report the output dimensions.
+	Rows() int
+	Cols() int
+	// Eval executes the subtree.
+	Eval() la.Matrix
+	// String renders the expression for debugging and tests.
+	String() string
+}
+
+// Leaf wraps an operand (dense, sparse, or normalized).
+type Leaf struct {
+	Name string
+	M    la.Matrix
+}
+
+// NewLeaf names an operand.
+func NewLeaf(name string, m la.Matrix) *Leaf { return &Leaf{Name: name, M: m} }
+
+// Rows implements Expr.
+func (l *Leaf) Rows() int { return l.M.Rows() }
+
+// Cols implements Expr.
+func (l *Leaf) Cols() int { return l.M.Cols() }
+
+// Eval implements Expr.
+func (l *Leaf) Eval() la.Matrix { return l.M }
+
+func (l *Leaf) String() string { return l.Name }
+
+// TransposeExpr is Aᵀ.
+type TransposeExpr struct{ A Expr }
+
+// Transpose builds Aᵀ.
+func Transpose(a Expr) Expr { return &TransposeExpr{A: a} }
+
+// Rows implements Expr.
+func (e *TransposeExpr) Rows() int { return e.A.Cols() }
+
+// Cols implements Expr.
+func (e *TransposeExpr) Cols() int { return e.A.Rows() }
+
+// Eval implements Expr.
+func (e *TransposeExpr) Eval() la.Matrix { return e.A.Eval().T() }
+
+func (e *TransposeExpr) String() string { return "t(" + e.A.String() + ")" }
+
+// ScaleExpr is x·A.
+type ScaleExpr struct {
+	A Expr
+	X float64
+}
+
+// Scale builds x·A.
+func Scale(a Expr, x float64) Expr { return &ScaleExpr{A: a, X: x} }
+
+// Rows implements Expr.
+func (e *ScaleExpr) Rows() int { return e.A.Rows() }
+
+// Cols implements Expr.
+func (e *ScaleExpr) Cols() int { return e.A.Cols() }
+
+// Eval implements Expr.
+func (e *ScaleExpr) Eval() la.Matrix { return e.A.Eval().Scale(e.X) }
+
+func (e *ScaleExpr) String() string { return fmt.Sprintf("(%g*%s)", e.X, e.A.String()) }
+
+// ApplyExpr is f(A) element-wise.
+type ApplyExpr struct {
+	A    Expr
+	Name string
+	F    func(float64) float64
+}
+
+// Apply builds f(A).
+func Apply(a Expr, name string, f func(float64) float64) Expr {
+	return &ApplyExpr{A: a, Name: name, F: f}
+}
+
+// Rows implements Expr.
+func (e *ApplyExpr) Rows() int { return e.A.Rows() }
+
+// Cols implements Expr.
+func (e *ApplyExpr) Cols() int { return e.A.Cols() }
+
+// Eval implements Expr.
+func (e *ApplyExpr) Eval() la.Matrix { return e.A.Eval().Apply(e.F) }
+
+func (e *ApplyExpr) String() string { return e.Name + "(" + e.A.String() + ")" }
+
+// MulExpr is A·B.
+type MulExpr struct{ A, B Expr }
+
+// Mul builds A·B, validating dimensions.
+func Mul(a, b Expr) Expr {
+	if a.Cols() != b.Rows() {
+		panic(fmt.Sprintf("expr: %s (%dx%d) · %s (%dx%d)", a, a.Rows(), a.Cols(), b, b.Rows(), b.Cols()))
+	}
+	return &MulExpr{A: a, B: b}
+}
+
+// Rows implements Expr.
+func (e *MulExpr) Rows() int { return e.A.Rows() }
+
+// Cols implements Expr.
+func (e *MulExpr) Cols() int { return e.B.Cols() }
+
+// Eval implements Expr. When the left operand is a leaf the LMM path is
+// used directly; otherwise the right side is materialized for a dense
+// multiply, with RMM used when the right operand is the structured one.
+func (e *MulExpr) Eval() la.Matrix {
+	a := e.A.Eval()
+	b := e.B.Eval()
+	return a.Mul(b.Dense())
+}
+
+func (e *MulExpr) String() string { return "(" + e.A.String() + " %*% " + e.B.String() + ")" }
+
+// CrossProdExpr is crossprod(A) = AᵀA.
+type CrossProdExpr struct{ A Expr }
+
+// CrossProd builds crossprod(A).
+func CrossProd(a Expr) Expr { return &CrossProdExpr{A: a} }
+
+// Rows implements Expr.
+func (e *CrossProdExpr) Rows() int { return e.A.Cols() }
+
+// Cols implements Expr.
+func (e *CrossProdExpr) Cols() int { return e.A.Cols() }
+
+// Eval implements Expr.
+func (e *CrossProdExpr) Eval() la.Matrix { return e.A.Eval().CrossProd() }
+
+func (e *CrossProdExpr) String() string { return "crossprod(" + e.A.String() + ")" }
+
+// RowSumsExpr, ColSumsExpr aggregate.
+type RowSumsExpr struct{ A Expr }
+
+// RowSums builds rowSums(A).
+func RowSums(a Expr) Expr { return &RowSumsExpr{A: a} }
+
+// Rows implements Expr.
+func (e *RowSumsExpr) Rows() int { return e.A.Rows() }
+
+// Cols implements Expr.
+func (e *RowSumsExpr) Cols() int { return 1 }
+
+// Eval implements Expr.
+func (e *RowSumsExpr) Eval() la.Matrix { return e.A.Eval().RowSums() }
+
+func (e *RowSumsExpr) String() string { return "rowSums(" + e.A.String() + ")" }
+
+// ColSumsExpr is colSums(A).
+type ColSumsExpr struct{ A Expr }
+
+// ColSums builds colSums(A).
+func ColSums(a Expr) Expr { return &ColSumsExpr{A: a} }
+
+// Rows implements Expr.
+func (e *ColSumsExpr) Rows() int { return 1 }
+
+// Cols implements Expr.
+func (e *ColSumsExpr) Cols() int { return e.A.Cols() }
+
+// Eval implements Expr.
+func (e *ColSumsExpr) Eval() la.Matrix { return e.A.Eval().ColSums() }
+
+func (e *ColSumsExpr) String() string { return "colSums(" + e.A.String() + ")" }

@@ -1,0 +1,177 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/la"
+)
+
+func randDense(rng *rand.Rand, rows, cols int) *la.Dense {
+	d := la.NewDense(rows, cols)
+	for i := range d.Data() {
+		d.Data()[i] = rng.NormFloat64()
+	}
+	return d
+}
+
+func TestLeafAndDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewLeaf("A", randDense(rng, 3, 4))
+	if a.Rows() != 3 || a.Cols() != 4 {
+		t.Fatal("leaf dims")
+	}
+	tr := Transpose(a)
+	if tr.Rows() != 4 || tr.Cols() != 3 {
+		t.Fatal("transpose dims")
+	}
+	if tr.String() != "t(A)" {
+		t.Fatalf("string %q", tr.String())
+	}
+}
+
+func TestMulDimPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected dimension panic")
+		}
+	}()
+	Mul(NewLeaf("A", randDense(rng, 3, 4)), NewLeaf("B", randDense(rng, 5, 2)))
+}
+
+func TestEvalMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randDense(rng, 6, 4)
+	b := randDense(rng, 4, 3)
+	e := Mul(NewLeaf("A", a), NewLeaf("B", b))
+	got := e.Eval().Dense()
+	want := la.MatMul(a, b)
+	if la.MaxAbsDiff(got, want) > 1e-12 {
+		t.Fatal("Mul eval mismatch")
+	}
+	s := Scale(NewLeaf("A", a), 2.5)
+	if la.MaxAbsDiff(s.Eval().Dense(), a.ScaleDense(2.5)) > 1e-12 {
+		t.Fatal("Scale eval mismatch")
+	}
+	ap := Apply(NewLeaf("A", a), "exp", math.Exp)
+	if la.MaxAbsDiff(ap.Eval().Dense(), a.ApplyDense(math.Exp)) > 1e-12 {
+		t.Fatal("Apply eval mismatch")
+	}
+	if la.MaxAbsDiff(RowSums(NewLeaf("A", a)).Eval().Dense(), a.RowSums()) > 1e-12 {
+		t.Fatal("RowSums eval mismatch")
+	}
+	if la.MaxAbsDiff(ColSums(NewLeaf("A", a)).Eval().Dense(), a.ColSums()) > 1e-12 {
+		t.Fatal("ColSums eval mismatch")
+	}
+}
+
+func TestOptimizeDoubleTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewLeaf("A", randDense(rng, 3, 4))
+	e := Optimize(Transpose(Transpose(a)))
+	if e.String() != "A" {
+		t.Fatalf("got %s", e.String())
+	}
+}
+
+func TestOptimizeScalarFolding(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := NewLeaf("A", randDense(rng, 3, 4))
+	e := Optimize(Scale(Scale(a, 2), 3))
+	se, ok := e.(*ScaleExpr)
+	if !ok || se.X != 6 {
+		t.Fatalf("got %s", e.String())
+	}
+}
+
+func TestOptimizeCrossProdRecognition(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := NewLeaf("A", randDense(rng, 10, 3))
+	e := Optimize(Mul(Transpose(a), a))
+	if _, ok := e.(*CrossProdExpr); !ok {
+		t.Fatalf("AᵀA not recognized: %s", e.String())
+	}
+	if la.MaxAbsDiff(e.Eval().Dense(), a.M.CrossProd()) > 1e-12 {
+		t.Fatal("crossprod value mismatch")
+	}
+	// Different operands must NOT be rewritten.
+	b := NewLeaf("B", randDense(rng, 10, 3))
+	e2 := Optimize(Mul(Transpose(a), b))
+	if _, ok := e2.(*CrossProdExpr); ok {
+		t.Fatal("AᵀB wrongly recognized as crossprod")
+	}
+}
+
+func TestOptimizeTransposeProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := NewLeaf("A", randDense(rng, 4, 6))
+	b := NewLeaf("B", randDense(rng, 3, 4))
+	// Aᵀ(6x4)·Bᵀ(4x3) → (B·A)ᵀ
+	e := Optimize(Mul(Transpose(a), Transpose(b)))
+	if e.String() != "t((B %*% A))" {
+		t.Fatalf("got %s", e.String())
+	}
+	want := la.MatMul(a.M.Dense().TDense(), b.M.Dense().TDense())
+	if la.MaxAbsDiff(e.Eval().Dense(), want) > 1e-12 {
+		t.Fatal("value changed by rewrite")
+	}
+}
+
+func TestOptimizeMatrixChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	// (A·B)·v with A 50x40, B 40x30, v 30x1: right-association is far
+	// cheaper; the optimizer must produce A·(B·v).
+	a := NewLeaf("A", randDense(rng, 50, 40))
+	b := NewLeaf("B", randDense(rng, 40, 30))
+	v := NewLeaf("v", randDense(rng, 30, 1))
+	e := Optimize(Mul(Mul(a, b), v))
+	if e.String() != "(A %*% (B %*% v))" {
+		t.Fatalf("got %s", e.String())
+	}
+	want := la.MatMul(la.MatMul(a.M.Dense(), b.M.Dense()), v.M.Dense())
+	if la.MaxAbsDiff(e.Eval().Dense(), want) > 1e-9 {
+		t.Fatal("chain reorder changed the value")
+	}
+}
+
+// TestExprOverNormalizedMatrix: the script layer is operand-agnostic — a
+// normalized leaf factorizes the whole expression.
+func TestExprOverNormalizedMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	nS, nR := 40, 5
+	s := randDense(rng, nS, 3)
+	r := randDense(rng, nR, 4)
+	assign := make([]int, nS)
+	for i := range assign {
+		assign[i] = rng.Intn(nR)
+	}
+	nm, err := core.NewPKFK(s, la.NewIndicator(assign, nR), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := nm.Dense()
+	w := randDense(rng, 7, 1)
+
+	scriptOn := func(m la.Matrix) *la.Dense {
+		tl := NewLeaf("T", m)
+		// t(T) %*% (T %*% w), with crossprod recognition upstream.
+		e := Optimize(Mul(Transpose(tl), Mul(tl, NewLeaf("w", w))))
+		return e.Eval().Dense()
+	}
+	if la.MaxAbsDiff(scriptOn(nm), scriptOn(td)) > 1e-9 {
+		t.Fatal("normalized script result differs from materialized")
+	}
+
+	// crossprod recognition over a normalized leaf triggers Algorithm 2.
+	tl := NewLeaf("T", nm)
+	e := Optimize(Mul(Transpose(tl), tl))
+	if _, ok := e.(*CrossProdExpr); !ok {
+		t.Fatalf("normalized AᵀA not recognized: %s", e.String())
+	}
+	if la.MaxAbsDiff(e.Eval().Dense(), td.CrossProd()) > 1e-8 {
+		t.Fatal("factorized crossprod via script differs")
+	}
+}

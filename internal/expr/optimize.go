@@ -1,0 +1,144 @@
+package expr
+
+// Optimize rewrites the expression tree bottom-up until no rule fires.
+func Optimize(e Expr) Expr {
+	for {
+		opt, changed := rewrite(e)
+		e = opt
+		if !changed {
+			return e
+		}
+	}
+}
+
+// rewrite applies one bottom-up pass of the rule set.
+func rewrite(e Expr) (Expr, bool) {
+	switch n := e.(type) {
+	case *Leaf:
+		return n, false
+	case *TransposeExpr:
+		a, ch := rewrite(n.A)
+		// (Aᵀ)ᵀ → A
+		if inner, ok := a.(*TransposeExpr); ok {
+			return inner.A, true
+		}
+		if ch {
+			return &TransposeExpr{A: a}, true
+		}
+		return n, false
+	case *ScaleExpr:
+		a, ch := rewrite(n.A)
+		// a·(b·A) → (ab)·A
+		if inner, ok := a.(*ScaleExpr); ok {
+			return &ScaleExpr{A: inner.A, X: n.X * inner.X}, true
+		}
+		if ch {
+			return &ScaleExpr{A: a, X: n.X}, true
+		}
+		return n, false
+	case *ApplyExpr:
+		a, ch := rewrite(n.A)
+		if ch {
+			return &ApplyExpr{A: a, Name: n.Name, F: n.F}, true
+		}
+		return n, false
+	case *MulExpr:
+		a, chA := rewrite(n.A)
+		b, chB := rewrite(n.B)
+		// Aᵀ·A → crossprod(A): compare leaves by identity.
+		if ta, ok := a.(*TransposeExpr); ok {
+			if la1, ok1 := ta.A.(*Leaf); ok1 {
+				if lb, ok2 := b.(*Leaf); ok2 && la1.M == lb.M {
+					return &CrossProdExpr{A: lb}, true
+				}
+			}
+			// Aᵀ·Bᵀ → (B·A)ᵀ
+			if tb, ok2 := b.(*TransposeExpr); ok2 {
+				return &TransposeExpr{A: Mul(tb.A, ta.A)}, true
+			}
+		}
+		// Matrix chain reordering on flattened multiplication chains.
+		if chain := flattenChain(&MulExpr{A: a, B: b}); len(chain) >= 3 {
+			reordered := chainOrder(chain)
+			if reordered.String() != (&MulExpr{A: a, B: b}).String() {
+				return reordered, true
+			}
+		}
+		if chA || chB {
+			return &MulExpr{A: a, B: b}, true
+		}
+		return n, false
+	case *CrossProdExpr:
+		a, ch := rewrite(n.A)
+		if ch {
+			return &CrossProdExpr{A: a}, true
+		}
+		return n, false
+	case *RowSumsExpr:
+		a, ch := rewrite(n.A)
+		if ch {
+			return &RowSumsExpr{A: a}, true
+		}
+		return n, false
+	case *ColSumsExpr:
+		a, ch := rewrite(n.A)
+		if ch {
+			return &ColSumsExpr{A: a}, true
+		}
+		return n, false
+	default:
+		return e, false
+	}
+}
+
+// flattenChain collects the operands of a left- or right-nested
+// multiplication chain.
+func flattenChain(e Expr) []Expr {
+	m, ok := e.(*MulExpr)
+	if !ok {
+		return []Expr{e}
+	}
+	return append(flattenChain(m.A), flattenChain(m.B)...)
+}
+
+// chainOrder picks the cheapest parenthesization of a multiplication chain
+// by the classical O(k³) dynamic program over operand dimensions (Hu &
+// Shing's problem; mmtimes in Matlab, also in SystemML — paper §6).
+func chainOrder(chain []Expr) Expr {
+	k := len(chain)
+	dims := make([]int, k+1)
+	for i, e := range chain {
+		dims[i] = e.Rows()
+	}
+	dims[k] = chain[k-1].Cols()
+	cost := make([][]float64, k)
+	split := make([][]int, k)
+	for i := range cost {
+		cost[i] = make([]float64, k)
+		split[i] = make([]int, k)
+	}
+	for span := 1; span < k; span++ {
+		for i := 0; i+span < k; i++ {
+			j := i + span
+			best := -1.0
+			for s := i; s < j; s++ {
+				c := cost[i][s] + cost[s+1][j] +
+					float64(dims[i])*float64(dims[s+1])*float64(dims[j+1])
+				if best < 0 || c < best {
+					best = c
+					split[i][j] = s
+				}
+			}
+			cost[i][j] = best
+		}
+	}
+	var build func(i, j int) Expr
+	build = func(i, j int) Expr {
+		if i == j {
+			return chain[i]
+		}
+		s := split[i][j]
+		return &MulExpr{A: build(i, s), B: build(s+1, j)}
+	}
+	return build(0, k-1)
+}

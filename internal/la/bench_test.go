@@ -1,0 +1,110 @@
+package la
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Kernel-level microbenchmarks for the substrate: these are the building
+// blocks whose relative costs drive every M-vs-F comparison upstairs.
+
+func benchDense(n, d int) *Dense {
+	rng := rand.New(rand.NewSource(1))
+	return randDense(rng, n, d)
+}
+
+func BenchmarkGEMM(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		a := benchDense(n, n)
+		c := benchDense(n, n)
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.ReportMetric(float64(2*n*n*n), "flops/op")
+			for i := 0; i < b.N; i++ {
+				MatMul(a, c)
+			}
+		})
+	}
+}
+
+func BenchmarkTMatMul(b *testing.B) {
+	a := benchDense(4096, 64)
+	x := benchDense(4096, 8)
+	for i := 0; i < b.N; i++ {
+		TMatMul(a, x)
+	}
+}
+
+func BenchmarkCrossProdDense(b *testing.B) {
+	a := benchDense(8192, 64)
+	for i := 0; i < b.N; i++ {
+		a.CrossProd()
+	}
+}
+
+func BenchmarkCSRMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	c, _ := randCSR(rng, 8192, 512, 0.02)
+	x := benchDense(512, 8)
+	for i := 0; i < b.N; i++ {
+		c.Mul(x)
+	}
+}
+
+func BenchmarkCSRCrossProd(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	c, _ := randCSR(rng, 8192, 256, 0.02)
+	for i := 0; i < b.N; i++ {
+		c.CrossProd()
+	}
+}
+
+func BenchmarkIndicatorGather(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	k := randIndicator(rng, 100_000, 1000)
+	z := benchDense(1000, 32)
+	for i := 0; i < b.N; i++ {
+		k.Mul(z)
+	}
+}
+
+func BenchmarkIndicatorScatter(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	k := randIndicator(rng, 100_000, 1000)
+	z := benchDense(100_000, 8)
+	for i := 0; i < b.N; i++ {
+		k.TMul(z)
+	}
+}
+
+func BenchmarkTMulIndicator(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	k := randIndicator(rng, 200_000, 2000)
+	j := randIndicator(rng, 200_000, 2000)
+	for i := 0; i < b.N; i++ {
+		k.TMulIndicator(j)
+	}
+}
+
+func BenchmarkSymGinv(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	m := randDense(rng, 200, 80)
+	a := m.CrossProd()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SymGinv(a)
+	}
+}
+
+func BenchmarkCholeskySolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	m := randDense(rng, 200, 80)
+	a := m.CrossProd().Add(Eye(80))
+	rhs := randDense(rng, 80, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveSPD(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package la
+
+import "fmt"
+
+// MatMul computes a·b for dense matrices with a cache-blocked, row-parallel
+// kernel (the i-k-j loop order keeps the inner loop streaming over
+// contiguous rows of b and the output).
+func MatMul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("la: MatMul %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := NewDense(a.rows, b.cols)
+	work := a.rows * a.cols * b.cols
+	parallelFor(a.rows, work, func(lo, hi int) {
+		matMulRange(out, a, b, lo, hi)
+	})
+	return out
+}
+
+func matMulRange(out, a, b *Dense, lo, hi int) {
+	n := b.cols
+	const kb = 256
+	for k0 := 0; k0 < a.cols; k0 += kb {
+		k1 := min(k0+kb, a.cols)
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for k := k0; k < k1; k++ {
+				aik := arow[k]
+				if aik == 0 {
+					continue
+				}
+				brow := b.data[k*n : (k+1)*n]
+				axpy(orow, brow, aik)
+			}
+		}
+	}
+}
+
+// axpy computes dst += alpha*src with 4-way unrolling.
+func axpy(dst, src []float64, alpha float64) {
+	n := len(dst)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] += alpha * src[i]
+		dst[i+1] += alpha * src[i+1]
+		dst[i+2] += alpha * src[i+2]
+		dst[i+3] += alpha * src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// TMatMul computes aᵀ·b without materializing aᵀ. Parallelism is over rows
+// of a with per-worker accumulators merged at the end.
+func TMatMul(a, b *Dense) *Dense {
+	if a.rows != b.rows {
+		panic(fmt.Sprintf("la: TMatMul %dx%d ᵀ· %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	work := a.rows * a.cols * b.cols
+	if work < parallelThreshold {
+		out := NewDense(a.cols, b.cols)
+		tMatMulRange(out, a, b, 0, a.rows)
+		return out
+	}
+	// Partial outputs per chunk, reduced by a single accumulator goroutine.
+	parts := make(chan *Dense, 64)
+	done := make(chan *Dense)
+	go func() {
+		acc := NewDense(a.cols, b.cols)
+		for p := range parts {
+			acc.AddInPlace(p)
+		}
+		done <- acc
+	}()
+	parallelFor(a.rows, work, func(lo, hi int) {
+		p := NewDense(a.cols, b.cols)
+		tMatMulRange(p, a, b, lo, hi)
+		parts <- p
+	})
+	close(parts)
+	return <-done
+}
+
+func tMatMulRange(out, a, b *Dense, lo, hi int) {
+	n := b.cols
+	for r := lo; r < hi; r++ {
+		arow := a.Row(r)
+		brow := b.data[r*n : (r+1)*n]
+		for j, av := range arow {
+			if av == 0 {
+				continue
+			}
+			axpy(out.data[j*n:(j+1)*n], brow, av)
+		}
+	}
+}
+
+// MatMulT computes a·bᵀ using dot products over rows of both operands.
+func MatMulT(a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("la: MatMulT %dx%d · %dx%dᵀ", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := NewDense(a.rows, b.rows)
+	work := a.rows * a.cols * b.rows
+	parallelFor(a.rows, work, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.rows; j++ {
+				orow[j] = dot(arow, b.Row(j))
+			}
+		}
+	})
+	return out
+}
+
+func dot(x, y []float64) float64 {
+	s := 0.0
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s += x[i]*y[i] + x[i+1]*y[i+1] + x[i+2]*y[i+2] + x[i+3]*y[i+3]
+	}
+	for ; i < n; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// CrossProd computes mᵀm exploiting symmetry: only the upper triangle is
+// accumulated, then mirrored. This is the dense building block used by the
+// efficient factorized cross-product (Algorithm 2).
+func (m *Dense) CrossProd() *Dense {
+	d := m.cols
+	work := m.rows * d * d / 2
+	if work < parallelThreshold {
+		out := NewDense(d, d)
+		crossRange(out, m, 0, m.rows)
+		mirrorLower(out)
+		return out
+	}
+	parts := make(chan *Dense, 64)
+	done := make(chan *Dense)
+	go func() {
+		acc := NewDense(d, d)
+		for p := range parts {
+			acc.AddInPlace(p)
+		}
+		done <- acc
+	}()
+	parallelFor(m.rows, work, func(lo, hi int) {
+		p := NewDense(d, d)
+		crossRange(p, m, lo, hi)
+		parts <- p
+	})
+	close(parts)
+	out := <-done
+	mirrorLower(out)
+	return out
+}
+
+func crossRange(out, m *Dense, lo, hi int) {
+	d := m.cols
+	for r := lo; r < hi; r++ {
+		row := m.Row(r)
+		for i, v := range row {
+			if v == 0 {
+				continue
+			}
+			axpy(out.data[i*d+i:(i+1)*d], row[i:], v)
+		}
+	}
+}
+
+func mirrorLower(s *Dense) {
+	d := s.cols
+	for i := 1; i < d; i++ {
+		for j := 0; j < i; j++ {
+			s.data[i*d+j] = s.data[j*d+i]
+		}
+	}
+}
+
+// Gram computes m·mᵀ.
+func (m *Dense) Gram() *Dense { return MatMulT(m, m) }
+
+// Ginv computes the Moore-Penrose pseudo-inverse; see ginv.go.
+func (m *Dense) Ginv() *Dense { return Ginv(m) }

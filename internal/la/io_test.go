@@ -1,0 +1,145 @@
+package la
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDenseBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	m := randDense(rng, 17, 9)
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDense(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualApprox(got, m, 0) {
+		t.Fatal("dense round trip mismatch")
+	}
+}
+
+func TestCSRBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	c, d := randCSR(rng, 23, 11, 0.25)
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualApprox(got.Dense(), d, 0) {
+		t.Fatal("CSR round trip mismatch")
+	}
+	if got.NNZ() != c.NNZ() {
+		t.Fatal("CSR round trip nnz mismatch")
+	}
+}
+
+func TestIndicatorBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	k := randIndicator(rng, 40, 7)
+	var buf bytes.Buffer
+	if err := k.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndicator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 40 || got.Cols() != 7 {
+		t.Fatal("indicator round trip dims")
+	}
+	for i := 0; i < 40; i++ {
+		if got.ColOf(i) != k.ColOf(i) {
+			t.Fatal("indicator round trip assignments")
+		}
+	}
+}
+
+func TestReadRejectsWrongMagic(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	m := randDense(rng, 3, 3)
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCSR(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("CSR reader accepted dense payload")
+	}
+	if _, err := ReadIndicator(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("indicator reader accepted dense payload")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	m := randDense(rng, 10, 10)
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadDense(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("accepted truncated payload")
+	}
+	if _, err := ReadDense(bytes.NewReader(raw[:10])); err == nil {
+		t.Fatal("accepted truncated header")
+	}
+}
+
+func TestReadRejectsCorruptCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	c, _ := randCSR(rng, 8, 8, 0.4)
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt a column index to an out-of-range value.
+	idxOffset := 4 + 16 + 8 + (8+1)*8 // magic + dims + nnz + indptr
+	raw[idxOffset] = 0xFF
+	raw[idxOffset+1] = 0xFF
+	raw[idxOffset+2] = 0xFF
+	raw[idxOffset+3] = 0x7F
+	if _, err := ReadCSR(bytes.NewReader(raw)); err == nil {
+		t.Fatal("accepted corrupt column index")
+	}
+}
+
+func TestDenseCSVRoundTrip(t *testing.T) {
+	m := DenseFromRows([][]float64{{1.5, -2}, {0, 3e10}})
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDenseCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualApprox(got, m, 0) {
+		t.Fatal("CSV round trip mismatch")
+	}
+}
+
+func TestReadDenseCSVErrors(t *testing.T) {
+	if _, err := ReadDenseCSV(strings.NewReader("1,2\n3\n")); err == nil {
+		t.Fatal("accepted ragged CSV")
+	}
+	if _, err := ReadDenseCSV(strings.NewReader("1,x\n")); err == nil {
+		t.Fatal("accepted non-numeric CSV")
+	}
+	m, err := ReadDenseCSV(strings.NewReader("\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 0 {
+		t.Fatal("blank CSV should be empty")
+	}
+}

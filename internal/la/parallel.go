@@ -1,0 +1,50 @@
+package la
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the amount of scalar work below which operators run
+// serially; goroutine fan-out costs more than it saves on small inputs.
+const parallelThreshold = 1 << 15
+
+// parallelFor splits [0,n) into contiguous chunks and runs body(lo, hi) on
+// up to GOMAXPROCS goroutines. work is an estimate of total scalar
+// operations used to decide whether parallelism pays off.
+func parallelFor(n int, work int, body func(lo, hi int)) {
+	procs := runtime.GOMAXPROCS(0)
+	if n == 0 {
+		return
+	}
+	if procs == 1 || work < parallelThreshold || n < 2 {
+		body(0, n)
+		return
+	}
+	chunks := procs
+	if chunks > n {
+		chunks = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	size := (n + chunks - 1) / chunks
+	for c := 0; c < chunks; c++ {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			if lo < hi {
+				body(lo, hi)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelRows exposes the package's chunked row-parallel loop to sibling
+// packages (core's gather kernels); body(lo, hi) must be safe to run on
+// disjoint row ranges concurrently.
+func ParallelRows(n int, work int, body func(lo, hi int)) { parallelFor(n, work, body) }

@@ -1,0 +1,494 @@
+package la
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row matrix. The real-world datasets in the
+// paper (Table 6) are sparse one-hot feature matrices, so the entity and
+// attribute tables of a normalized matrix may be CSR.
+type CSR struct {
+	rows, cols int
+	indptr     []int
+	indices    []int32
+	vals       []float64
+}
+
+// NewCSR wraps pre-built CSR arrays without copying. indptr must have
+// rows+1 entries; per-row column indices must be strictly increasing.
+func NewCSR(rows, cols int, indptr []int, indices []int32, vals []float64) *CSR {
+	if len(indptr) != rows+1 {
+		panic(fmt.Sprintf("la: indptr length %d != rows+1 %d", len(indptr), rows+1))
+	}
+	if len(indices) != len(vals) || len(indices) != indptr[rows] {
+		panic("la: CSR arrays inconsistent")
+	}
+	return &CSR{rows: rows, cols: cols, indptr: indptr, indices: indices, vals: vals}
+}
+
+// CSRBuilder accumulates (i,j,v) triplets and assembles a CSR matrix.
+// Duplicate coordinates are summed.
+type CSRBuilder struct {
+	rows, cols int
+	is         []int32
+	js         []int32
+	vs         []float64
+}
+
+// NewCSRBuilder returns a builder for a rows×cols sparse matrix.
+func NewCSRBuilder(rows, cols int) *CSRBuilder {
+	return &CSRBuilder{rows: rows, cols: cols}
+}
+
+// Add records a triplet; zero values are dropped.
+func (b *CSRBuilder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("la: triplet (%d,%d) out of bounds %dx%d", i, j, b.rows, b.cols))
+	}
+	if v == 0 {
+		return
+	}
+	b.is = append(b.is, int32(i))
+	b.js = append(b.js, int32(j))
+	b.vs = append(b.vs, v)
+}
+
+// Build assembles the CSR matrix, sorting and summing duplicates.
+func (b *CSRBuilder) Build() *CSR {
+	type trip struct {
+		i, j int32
+		v    float64
+	}
+	ts := make([]trip, len(b.is))
+	for k := range b.is {
+		ts[k] = trip{b.is[k], b.js[k], b.vs[k]}
+	}
+	sort.Slice(ts, func(a, c int) bool {
+		if ts[a].i != ts[c].i {
+			return ts[a].i < ts[c].i
+		}
+		return ts[a].j < ts[c].j
+	})
+	indptr := make([]int, b.rows+1)
+	indices := make([]int32, 0, len(ts))
+	vals := make([]float64, 0, len(ts))
+	for k := 0; k < len(ts); {
+		i, j := ts[k].i, ts[k].j
+		v := 0.0
+		for ; k < len(ts) && ts[k].i == i && ts[k].j == j; k++ {
+			v += ts[k].v
+		}
+		if v != 0 {
+			indices = append(indices, j)
+			vals = append(vals, v)
+			indptr[i+1]++
+		}
+	}
+	for i := 0; i < b.rows; i++ {
+		indptr[i+1] += indptr[i]
+	}
+	return &CSR{rows: b.rows, cols: b.cols, indptr: indptr, indices: indices, vals: vals}
+}
+
+// CSRFromDense converts a dense matrix, dropping exact zeros.
+func CSRFromDense(d *Dense) *CSR {
+	b := NewCSRBuilder(d.rows, d.cols)
+	for i := 0; i < d.rows; i++ {
+		for j, v := range d.Row(i) {
+			if v != 0 {
+				b.Add(i, j, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Rows reports the number of rows.
+func (c *CSR) Rows() int { return c.rows }
+
+// Cols reports the number of columns.
+func (c *CSR) Cols() int { return c.cols }
+
+// NNZ reports the number of stored non-zeros.
+func (c *CSR) NNZ() int { return len(c.vals) }
+
+// At returns the (i,j) element by binary search within row i.
+func (c *CSR) At(i, j int) float64 {
+	if i < 0 || i >= c.rows || j < 0 || j >= c.cols {
+		panic(fmt.Sprintf("la: index (%d,%d) out of bounds %dx%d", i, j, c.rows, c.cols))
+	}
+	lo, hi := c.indptr[i], c.indptr[i+1]
+	idx := sort.Search(hi-lo, func(k int) bool { return c.indices[lo+k] >= int32(j) })
+	if lo+idx < hi && c.indices[lo+idx] == int32(j) {
+		return c.vals[lo+idx]
+	}
+	return 0
+}
+
+// RowNNZ returns the column indices and values of row i (shared slices).
+func (c *CSR) RowNNZ(i int) ([]int32, []float64) {
+	lo, hi := c.indptr[i], c.indptr[i+1]
+	return c.indices[lo:hi], c.vals[lo:hi]
+}
+
+// Dense materializes the matrix.
+func (c *CSR) Dense() *Dense {
+	out := NewDense(c.rows, c.cols)
+	for i := 0; i < c.rows; i++ {
+		row := out.Row(i)
+		idx, vals := c.RowNNZ(i)
+		for k, j := range idx {
+			row[j] = vals[k]
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (c *CSR) Clone() *CSR {
+	ip := make([]int, len(c.indptr))
+	copy(ip, c.indptr)
+	ix := make([]int32, len(c.indices))
+	copy(ix, c.indices)
+	vs := make([]float64, len(c.vals))
+	copy(vs, c.vals)
+	return &CSR{rows: c.rows, cols: c.cols, indptr: ip, indices: ix, vals: vs}
+}
+
+// TCSR returns the transposed matrix in CSR form (an O(nnz) counting sort).
+func (c *CSR) TCSR() *CSR {
+	indptr := make([]int, c.cols+1)
+	for _, j := range c.indices {
+		indptr[j+1]++
+	}
+	for j := 0; j < c.cols; j++ {
+		indptr[j+1] += indptr[j]
+	}
+	indices := make([]int32, len(c.indices))
+	vals := make([]float64, len(c.vals))
+	next := make([]int, c.cols)
+	copy(next, indptr[:c.cols])
+	for i := 0; i < c.rows; i++ {
+		idx, vs := c.RowNNZ(i)
+		for k, j := range idx {
+			p := next[j]
+			indices[p] = int32(i)
+			vals[p] = vs[k]
+			next[j]++
+		}
+	}
+	return &CSR{rows: c.cols, cols: c.rows, indptr: indptr, indices: indices, vals: vals}
+}
+
+// GatherRows returns the CSR matrix whose i-th row is row assign[i] of c
+// (i.e. K·c for an indicator K with assignments assign).
+func (c *CSR) GatherRows(assign []int32) *CSR {
+	indptr := make([]int, len(assign)+1)
+	for i, r := range assign {
+		indptr[i+1] = indptr[i] + (c.indptr[r+1] - c.indptr[r])
+	}
+	indices := make([]int32, indptr[len(assign)])
+	vals := make([]float64, indptr[len(assign)])
+	parallelFor(len(assign), indptr[len(assign)], func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := assign[i]
+			copy(indices[indptr[i]:indptr[i+1]], c.indices[c.indptr[r]:c.indptr[r+1]])
+			copy(vals[indptr[i]:indptr[i+1]], c.vals[c.indptr[r]:c.indptr[r+1]])
+		}
+	})
+	return &CSR{rows: len(assign), cols: c.cols, indptr: indptr, indices: indices, vals: vals}
+}
+
+// HCatCSR concatenates sparse matrices side by side.
+func HCatCSR(ms ...*CSR) *CSR {
+	if len(ms) == 0 {
+		return NewCSR(0, 0, []int{0}, nil, nil)
+	}
+	rows := ms[0].rows
+	cols, nnz := 0, 0
+	for _, m := range ms {
+		if m.rows != rows {
+			panic(fmt.Sprintf("la: HCatCSR row mismatch %d != %d", m.rows, rows))
+		}
+		cols += m.cols
+		nnz += m.NNZ()
+	}
+	indptr := make([]int, rows+1)
+	indices := make([]int32, 0, nnz)
+	vals := make([]float64, 0, nnz)
+	for i := 0; i < rows; i++ {
+		off := 0
+		for _, m := range ms {
+			idx, vs := m.RowNNZ(i)
+			for k, j := range idx {
+				indices = append(indices, j+int32(off))
+				vals = append(vals, vs[k])
+			}
+			off += m.cols
+		}
+		indptr[i+1] = len(indices)
+	}
+	return &CSR{rows: rows, cols: cols, indptr: indptr, indices: indices, vals: vals}
+}
+
+// --- Mat interface ---
+
+// Mul computes c·X (sparse × dense → dense).
+func (c *CSR) Mul(x *Dense) *Dense {
+	if x.rows != c.cols {
+		panic(fmt.Sprintf("la: CSR Mul %dx%d · %dx%d", c.rows, c.cols, x.rows, x.cols))
+	}
+	out := NewDense(c.rows, x.cols)
+	parallelFor(c.rows, c.NNZ()*x.cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			idx, vs := c.RowNNZ(i)
+			orow := out.Row(i)
+			for k, j := range idx {
+				axpy(orow, x.Row(int(j)), vs[k])
+			}
+		}
+	})
+	return out
+}
+
+// TMul computes cᵀ·X without materializing the transpose.
+func (c *CSR) TMul(x *Dense) *Dense {
+	if x.rows != c.rows {
+		panic(fmt.Sprintf("la: CSR TMul %dx%dᵀ · %dx%d", c.rows, c.cols, x.rows, x.cols))
+	}
+	out := NewDense(c.cols, x.cols)
+	for i := 0; i < c.rows; i++ {
+		idx, vs := c.RowNNZ(i)
+		xrow := x.Row(i)
+		for k, j := range idx {
+			axpy(out.Row(int(j)), xrow, vs[k])
+		}
+	}
+	return out
+}
+
+// LeftMul computes X·c (dense × sparse → dense).
+func (c *CSR) LeftMul(x *Dense) *Dense {
+	if x.cols != c.rows {
+		panic(fmt.Sprintf("la: CSR LeftMul %dx%d · %dx%d", x.rows, x.cols, c.rows, c.cols))
+	}
+	out := NewDense(x.rows, c.cols)
+	parallelFor(x.rows, c.NNZ()*x.rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xrow := x.Row(i)
+			orow := out.Row(i)
+			for r := 0; r < c.rows; r++ {
+				xv := xrow[r]
+				if xv == 0 {
+					continue
+				}
+				idx, vs := c.RowNNZ(r)
+				for k, j := range idx {
+					orow[j] += xv * vs[k]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// CrossProd computes cᵀc. Rows are rank-1 updates on the upper triangle.
+func (c *CSR) CrossProd() *Dense {
+	d := c.cols
+	out := NewDense(d, d)
+	for i := 0; i < c.rows; i++ {
+		idx, vs := c.RowNNZ(i)
+		for a, ja := range idx {
+			va := vs[a]
+			orow := out.Row(int(ja))
+			for b := a; b < len(idx); b++ {
+				orow[idx[b]] += va * vs[b]
+			}
+		}
+	}
+	mirrorLower(out)
+	return out
+}
+
+// Gram computes c·cᵀ via the transpose: (cᵀ)ᵀ(cᵀ).
+func (c *CSR) Gram() *Dense { return c.TCSR().CrossProd() }
+
+// MulCSR computes c·o for two sparse matrices, returning a dense result
+// (used by the indicator-product tiles where the output is small).
+func (c *CSR) MulCSR(o *CSR) *Dense {
+	if o.rows != c.cols {
+		panic(fmt.Sprintf("la: MulCSR %dx%d · %dx%d", c.rows, c.cols, o.rows, o.cols))
+	}
+	out := NewDense(c.rows, o.cols)
+	for i := 0; i < c.rows; i++ {
+		idx, vs := c.RowNNZ(i)
+		orow := out.Row(i)
+		for k, j := range idx {
+			jidx, jvs := o.RowNNZ(int(j))
+			v := vs[k]
+			for t, jj := range jidx {
+				orow[jj] += v * jvs[t]
+			}
+		}
+	}
+	return out
+}
+
+// MulMat computes c·r where r may be dense or sparse, returning dense.
+func (c *CSR) MulMat(r Mat) *Dense {
+	switch rm := r.(type) {
+	case *Dense:
+		return c.Mul(rm)
+	case *CSR:
+		return c.MulCSR(rm)
+	default:
+		return c.Mul(r.Dense())
+	}
+}
+
+// RowSums returns an n×1 column vector of row sums.
+func (c *CSR) RowSums() *Dense {
+	out := make([]float64, c.rows)
+	for i := 0; i < c.rows; i++ {
+		_, vs := c.RowNNZ(i)
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		out[i] = s
+	}
+	return ColVector(out)
+}
+
+// ColSums returns a 1×d row vector of column sums.
+func (c *CSR) ColSums() *Dense {
+	out := make([]float64, c.cols)
+	for k, j := range c.indices {
+		out[j] += c.vals[k]
+	}
+	return RowVector(out)
+}
+
+// Sum returns the sum of all elements.
+func (c *CSR) Sum() float64 {
+	s := 0.0
+	for _, v := range c.vals {
+		s += v
+	}
+	return s
+}
+
+func (c *CSR) mapVals(f func(float64) float64) *CSR {
+	out := c.Clone()
+	for k, v := range out.vals {
+		out.vals[k] = f(v)
+	}
+	return out
+}
+
+// ScaleM implements Mat; scaling preserves sparsity.
+func (c *CSR) ScaleM(x float64) Mat { return c.mapVals(func(v float64) float64 { return v * x }) }
+
+// AddScalarM implements Mat. Adding a non-zero scalar densifies.
+func (c *CSR) AddScalarM(x float64) Mat {
+	if x == 0 {
+		return c.Clone()
+	}
+	return c.Dense().AddScalarDense(x)
+}
+
+// PowM implements Mat; 0^p stays 0 for p>0, so sparsity is preserved.
+func (c *CSR) PowM(p float64) Mat {
+	if p <= 0 {
+		return c.Dense().PowDense(p)
+	}
+	if p == 2 {
+		return c.mapVals(func(v float64) float64 { return v * v })
+	}
+	return c.mapVals(func(v float64) float64 { return math.Pow(v, p) })
+}
+
+// ApplyM implements Mat. If f(0)==0 the result stays sparse; otherwise it
+// densifies (e.g. exp).
+func (c *CSR) ApplyM(f func(float64) float64) Mat {
+	if f(0) == 0 {
+		return c.mapVals(f)
+	}
+	return c.Dense().ApplyDense(f)
+}
+
+// ScaleRows implements Mat.
+func (c *CSR) ScaleRows(v []float64) Mat {
+	if len(v) != c.rows {
+		panic(fmt.Sprintf("la: ScaleRows length %d != rows %d", len(v), c.rows))
+	}
+	out := c.Clone()
+	for i := 0; i < c.rows; i++ {
+		for k := out.indptr[i]; k < out.indptr[i+1]; k++ {
+			out.vals[k] *= v[i]
+		}
+	}
+	return out
+}
+
+// SliceRows implements Mat.
+func (c *CSR) SliceRows(i0, i1 int) Mat {
+	if i0 < 0 || i1 > c.rows || i0 > i1 {
+		panic(fmt.Sprintf("la: row slice [%d,%d) out of bounds %d", i0, i1, c.rows))
+	}
+	base := c.indptr[i0]
+	indptr := make([]int, i1-i0+1)
+	for i := i0; i <= i1; i++ {
+		indptr[i-i0] = c.indptr[i] - base
+	}
+	indices := make([]int32, c.indptr[i1]-base)
+	copy(indices, c.indices[base:c.indptr[i1]])
+	vals := make([]float64, c.indptr[i1]-base)
+	copy(vals, c.vals[base:c.indptr[i1]])
+	return &CSR{rows: i1 - i0, cols: c.cols, indptr: indptr, indices: indices, vals: vals}
+}
+
+// SliceCols implements Mat.
+func (c *CSR) SliceCols(j0, j1 int) Mat {
+	if j0 < 0 || j1 > c.cols || j0 > j1 {
+		panic(fmt.Sprintf("la: col slice [%d,%d) out of bounds %d", j0, j1, c.cols))
+	}
+	b := NewCSRBuilder(c.rows, j1-j0)
+	for i := 0; i < c.rows; i++ {
+		idx, vs := c.RowNNZ(i)
+		for k, j := range idx {
+			if int(j) >= j0 && int(j) < j1 {
+				b.Add(i, int(j)-j0, vs[k])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// CloneMat implements Mat.
+func (c *CSR) CloneMat() Mat { return c.Clone() }
+
+// --- Matrix interface (CSR as a standalone operand, e.g. materialized T
+// over the sparse real datasets) ---
+
+// T implements Matrix.
+func (c *CSR) T() Matrix { return c.TCSR() }
+
+// Scale implements Matrix.
+func (c *CSR) Scale(x float64) Matrix { return c.ScaleM(x).(Matrix) }
+
+// AddScalar implements Matrix.
+func (c *CSR) AddScalar(x float64) Matrix { return c.AddScalarM(x).(Matrix) }
+
+// Pow implements Matrix.
+func (c *CSR) Pow(p float64) Matrix { return c.PowM(p).(Matrix) }
+
+// Apply implements Matrix.
+func (c *CSR) Apply(f func(float64) float64) Matrix { return c.ApplyM(f).(Matrix) }
+
+// LeftMulMatrix note: LeftMul already matches the Matrix signature.
+
+// Ginv computes the pseudo-inverse of the materialized operand.
+func (c *CSR) Ginv() *Dense { return GinvOf(c) }

@@ -1,0 +1,109 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/la"
+)
+
+// KMeansResult holds the fitted centroids and final assignments.
+type KMeansResult struct {
+	// Centroids is d×k: one column per cluster, matching the paper's C.
+	Centroids *la.Dense
+	// Assign[i] is the cluster of point i.
+	Assign []int
+	// Objective is the final sum of squared distances to assigned centroids.
+	Objective float64
+}
+
+// KMeans clusters the rows of T (Algorithm 15; factorized as Algorithm 7).
+// All data-intensive steps are the vectorized bulk operators of Table 1:
+//
+//	DT = rowSums(T²)·1(1×k)                      — scalar op + aggregation
+//	D  = DT + 1(n×1)·colSums(C²) − 2·T·C         — LMM
+//	A  = (D == rowMin(D)·1(1×k))                 — dense boolean assignment
+//	C  = (Tᵀ·A) / (1(d×1)·colSums(A))            — transposed LMM
+func KMeans(t la.Matrix, k int, opt Options) (*KMeansResult, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("ml: k must be positive, got %d", k)
+	}
+	n, d := t.Rows(), t.Cols()
+	if k > n {
+		return nil, fmt.Errorf("ml: k=%d exceeds %d points", k, n)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	c := la.NewDense(d, k)
+	for i := range c.Data() {
+		c.Data()[i] = rng.NormFloat64()
+	}
+
+	// Pre-compute the point norms once (they never change).
+	dt := t.Pow(2).RowSums() // n×1
+	t2 := t.Scale(2)         // stays normalized for a normalized input
+	t2T := t2.T()
+	var a *la.Dense
+	for it := 0; it < opt.Iters; it++ {
+		// Pairwise squared distances (points × clusters).
+		cNorm := c.PowDense(2).ColSumsVec() // length k
+		tc := t2.Mul(c)                     // n×k (LMM)
+		dist := la.NewDense(n, k)
+		for i := 0; i < n; i++ {
+			di := dt.At(i, 0)
+			row := tc.Row(i)
+			drow := dist.Row(i)
+			for j := 0; j < k; j++ {
+				drow[j] = di + cNorm[j] - row[j]
+			}
+		}
+		// Boolean assignment matrix from row minima.
+		a = assignmentMatrix(dist)
+		// New centroids; empty clusters keep their previous centroid.
+		counts := a.ColSumsVec()
+		ta := t2T.Mul(a) // d×k = 2·Tᵀ·A (transposed LMM on the scaled matrix)
+		for j := 0; j < k; j++ {
+			if counts[j] == 0 {
+				continue
+			}
+			for i := 0; i < d; i++ {
+				c.Set(i, j, ta.At(i, j)/(2*counts[j]))
+			}
+		}
+	}
+
+	res := &KMeansResult{Centroids: c, Assign: make([]int, n)}
+	cNorm := c.PowDense(2).ColSumsVec()
+	tc := t2.Mul(c)
+	for i := 0; i < n; i++ {
+		best, bestD := 0, dt.At(i, 0)+cNorm[0]-tc.At(i, 0)
+		for j := 1; j < k; j++ {
+			if dd := dt.At(i, 0) + cNorm[j] - tc.At(i, j); dd < bestD {
+				best, bestD = j, dd
+			}
+		}
+		res.Assign[i] = best
+		res.Objective += bestD
+	}
+	return res, nil
+}
+
+// assignmentMatrix builds the 0/1 matrix A = (D == rowMin(D)·1), breaking
+// ties toward the lowest cluster index so each row has exactly one 1.
+func assignmentMatrix(dist *la.Dense) *la.Dense {
+	n, k := dist.Rows(), dist.Cols()
+	a := la.NewDense(n, k)
+	for i := 0; i < n; i++ {
+		row := dist.Row(i)
+		best := 0
+		for j := 1; j < k; j++ {
+			if row[j] < row[best] {
+				best = j
+			}
+		}
+		a.Set(i, best, 1)
+	}
+	return a
+}

@@ -1,0 +1,71 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+)
+
+// PredictLinear computes ŷ = T·w; T may be normalized, so scoring is
+// factorized exactly like training.
+func PredictLinear(t la.Matrix, w *la.Dense) *la.Dense { return t.Mul(w) }
+
+// PredictLogistic computes class probabilities σ(T·w).
+func PredictLogistic(t la.Matrix, w *la.Dense) *la.Dense {
+	tw := t.Mul(w)
+	out := la.NewDense(tw.Rows(), 1)
+	for i := 0; i < tw.Rows(); i++ {
+		out.Set(i, 0, 1/(1+math.Exp(-tw.At(i, 0))))
+	}
+	return out
+}
+
+// ClassifyLogistic thresholds probabilities at 0.5 into ±1 labels.
+func ClassifyLogistic(t la.Matrix, w *la.Dense) *la.Dense {
+	tw := t.Mul(w)
+	out := la.NewDense(tw.Rows(), 1)
+	for i := 0; i < tw.Rows(); i++ {
+		if tw.At(i, 0) >= 0 {
+			out.Set(i, 0, 1)
+		} else {
+			out.Set(i, 0, -1)
+		}
+	}
+	return out
+}
+
+// Accuracy reports the fraction of matching ±1 labels.
+func Accuracy(pred, y *la.Dense) (float64, error) {
+	if pred.Rows() != y.Rows() || pred.Cols() != 1 || y.Cols() != 1 {
+		return 0, fmt.Errorf("ml: accuracy needs matching nx1 labels, got %dx%d vs %dx%d",
+			pred.Rows(), pred.Cols(), y.Rows(), y.Cols())
+	}
+	if pred.Rows() == 0 {
+		return 0, fmt.Errorf("ml: no labels")
+	}
+	correct := 0
+	for i := 0; i < pred.Rows(); i++ {
+		if (pred.At(i, 0) >= 0) == (y.At(i, 0) >= 0) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(pred.Rows()), nil
+}
+
+// RMSE reports the root-mean-square error of predictions.
+func RMSE(pred, y *la.Dense) (float64, error) {
+	if pred.Rows() != y.Rows() || pred.Cols() != 1 || y.Cols() != 1 {
+		return 0, fmt.Errorf("ml: RMSE needs matching nx1 vectors, got %dx%d vs %dx%d",
+			pred.Rows(), pred.Cols(), y.Rows(), y.Cols())
+	}
+	if pred.Rows() == 0 {
+		return 0, fmt.Errorf("ml: no labels")
+	}
+	s := 0.0
+	for i := 0; i < pred.Rows(); i++ {
+		d := pred.At(i, 0) - y.At(i, 0)
+		s += d * d
+	}
+	return math.Sqrt(s / float64(pred.Rows())), nil
+}

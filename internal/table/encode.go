@@ -1,0 +1,171 @@
+package table
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/la"
+)
+
+// Encoder turns a table's feature columns into a matrix: numeric columns
+// become dense features, categorical columns one-hot sparse blocks. The
+// feature layout is recorded so model weights can be traced back to
+// columns.
+type Encoder struct {
+	// Features names each output matrix column, e.g. "Age" or
+	// "Country=US".
+	Features []string
+	vocabs   map[string]map[string]int
+	columns  []*Column
+	sparse   bool
+}
+
+// NewEncoder plans the encoding for the given feature columns of t
+// (Key columns are rejected — they are structure, not features).
+func NewEncoder(t *Table, featureCols []string) (*Encoder, error) {
+	e := &Encoder{vocabs: make(map[string]map[string]int)}
+	for _, name := range featureCols {
+		c, err := t.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		switch c.Kind {
+		case Numeric:
+			e.Features = append(e.Features, c.Name)
+		case Categorical:
+			vocab := c.Vocabulary()
+			m := make(map[string]int, len(vocab))
+			for _, v := range vocab {
+				m[v] = len(e.Features)
+				e.Features = append(e.Features, c.Name+"="+v)
+				e.sparse = true
+			}
+			e.vocabs[c.Name] = m
+		default:
+			return nil, fmt.Errorf("table: %s.%s is a %s column, not a feature", t.Name, c.Name, c.Kind)
+		}
+		e.columns = append(e.columns, c)
+	}
+	if len(e.Features) == 0 {
+		return nil, fmt.Errorf("table: no feature columns selected from %s", t.Name)
+	}
+	return e, nil
+}
+
+// Width reports the encoded feature dimensionality.
+func (e *Encoder) Width() int { return len(e.Features) }
+
+// Encode produces the feature matrix: CSR when any categorical column is
+// present (one-hot dominated), dense otherwise.
+func (e *Encoder) Encode(rows int) la.Mat {
+	if !e.sparse {
+		out := la.NewDense(rows, len(e.Features))
+		off := 0
+		for _, c := range e.columns {
+			for r := 0; r < rows; r++ {
+				out.Set(r, off, c.Nums[r])
+			}
+			off++
+		}
+		return out
+	}
+	b := la.NewCSRBuilder(rows, len(e.Features))
+	off := 0
+	for _, c := range e.columns {
+		if c.Kind == Numeric {
+			for r := 0; r < rows; r++ {
+				b.Add(r, off, c.Nums[r])
+			}
+			off++
+			continue
+		}
+		vocab := e.vocabs[c.Name]
+		for r := 0; r < rows; r++ {
+			b.Add(r, vocab[c.Cats[r]], 1)
+		}
+		off += len(vocab)
+	}
+	return b.Build()
+}
+
+// AttributeRef wires one attribute table into a star schema join.
+type AttributeRef struct {
+	// Table is the attribute table R_i.
+	Table *Table
+	// PrimaryKey is R_i's key column; ForeignKey is the referencing
+	// column of the entity table.
+	PrimaryKey string
+	ForeignKey string
+	// Features lists R_i's feature columns.
+	Features []string
+}
+
+// JoinSpec describes a star-schema dataset declaratively.
+type JoinSpec struct {
+	// Entity is the fact table S.
+	Entity *Table
+	// EntityFeatures lists S's feature columns (may be empty).
+	EntityFeatures []string
+	// Target optionally names S's target column for supervised learning.
+	Target string
+	// Attributes are the dimension tables.
+	Attributes []AttributeRef
+}
+
+// Build resolves keys, encodes features, and assembles the normalized
+// matrix plus the target vector (nil if no target was named) — the end-to-
+// end path from CSV base tables to a factorizable operand. No join is ever
+// executed.
+func Build(spec JoinSpec) (*core.NormalizedMatrix, *la.Dense, []string, error) {
+	if spec.Entity == nil {
+		return nil, nil, nil, fmt.Errorf("table: JoinSpec needs an entity table")
+	}
+	nS := spec.Entity.NumRows()
+	var features []string
+	var s la.Mat
+	if len(spec.EntityFeatures) > 0 {
+		enc, err := NewEncoder(spec.Entity, spec.EntityFeatures)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		s = enc.Encode(nS)
+		features = append(features, enc.Features...)
+	}
+	ks := make([]*la.Indicator, 0, len(spec.Attributes))
+	rs := make([]la.Mat, 0, len(spec.Attributes))
+	for _, ref := range spec.Attributes {
+		pk, err := BuildKeyIndex(ref.Table, ref.PrimaryKey)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		assign, err := ResolveForeignKey(spec.Entity, ref.ForeignKey, pk)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		enc, err := NewEncoder(ref.Table, ref.Features)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ks = append(ks, la.NewIndicator(assign, pk.Len()))
+		rs = append(rs, enc.Encode(ref.Table.NumRows()))
+		for _, f := range enc.Features {
+			features = append(features, ref.Table.Name+"."+f)
+		}
+	}
+	nm, err := core.NewStar(s, ks, rs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var y *la.Dense
+	if spec.Target != "" {
+		c, err := spec.Entity.Column(spec.Target)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if c.Kind != Numeric {
+			return nil, nil, nil, fmt.Errorf("table: target %s must be numeric", spec.Target)
+		}
+		y = la.ColVector(c.Nums)
+	}
+	return nm, y, features, nil
+}

@@ -1,0 +1,241 @@
+// Package table is the relational ingestion layer in front of the
+// normalized matrix: typed columnar tables, CSV input, key resolution, and
+// feature encoding. The paper assumes this machinery exists in the host
+// environment (§3.2 constructs the indicator matrix from a foreign-key
+// column with R's sparseMatrix); here it is part of the system, so a
+// downstream user can go from raw CSV base tables to a factorized model
+// without writing matrix code.
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ColumnKind classifies a column's role and type.
+type ColumnKind int
+
+const (
+	// Numeric columns become one dense feature each.
+	Numeric ColumnKind = iota
+	// Categorical columns are one-hot encoded into sparse features.
+	Categorical
+	// Key columns hold primary/foreign keys and are not features.
+	Key
+)
+
+// String renders the kind for error messages.
+func (k ColumnKind) String() string {
+	switch k {
+	case Numeric:
+		return "numeric"
+	case Categorical:
+		return "categorical"
+	case Key:
+		return "key"
+	default:
+		return fmt.Sprintf("ColumnKind(%d)", int(k))
+	}
+}
+
+// Column is one typed column of a table.
+type Column struct {
+	Name string
+	Kind ColumnKind
+	// Nums holds values for Numeric columns.
+	Nums []float64
+	// Cats holds values for Categorical and Key columns.
+	Cats []string
+}
+
+// Len reports the column's row count.
+func (c *Column) Len() int {
+	if c.Kind == Numeric {
+		return len(c.Nums)
+	}
+	return len(c.Cats)
+}
+
+// Table is a named columnar table.
+type Table struct {
+	Name string
+	Cols []*Column
+	rows int
+}
+
+// New creates an empty table with the given schema. Kinds maps column
+// names to their kinds; unspecified columns default to Numeric.
+func New(name string, colNames []string, kinds map[string]ColumnKind) *Table {
+	t := &Table{Name: name}
+	for _, cn := range colNames {
+		t.Cols = append(t.Cols, &Column{Name: cn, Kind: kinds[cn]})
+	}
+	return t
+}
+
+// NumRows reports the number of rows.
+func (t *Table) NumRows() int { return t.rows }
+
+// Column returns the named column or an error.
+func (t *Table) Column(name string) (*Column, error) {
+	for _, c := range t.Cols {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("table: %s has no column %q", t.Name, name)
+}
+
+// AppendRow adds one row given as strings (CSV-shaped); numeric columns
+// are parsed, the rest stored verbatim.
+func (t *Table) AppendRow(cells []string) error {
+	if len(cells) != len(t.Cols) {
+		return fmt.Errorf("table: %s row has %d cells, want %d", t.Name, len(cells), len(t.Cols))
+	}
+	for i, c := range t.Cols {
+		if c.Kind == Numeric {
+			v, err := strconv.ParseFloat(strings.TrimSpace(cells[i]), 64)
+			if err != nil {
+				return fmt.Errorf("table: %s.%s row %d: %w", t.Name, c.Name, t.rows, err)
+			}
+			c.Nums = append(c.Nums, v)
+		} else {
+			c.Cats = append(c.Cats, strings.TrimSpace(cells[i]))
+		}
+	}
+	t.rows++
+	return nil
+}
+
+// ReadCSV parses a CSV stream with a header row into a table. kinds maps
+// column names to kinds (default Numeric).
+func ReadCSV(name string, r io.Reader, kinds map[string]ColumnKind) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading %s header: %w", name, err)
+	}
+	for i := range header {
+		header[i] = strings.TrimSpace(header[i])
+	}
+	t := New(name, header, kinds)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: reading %s: %w", name, err)
+		}
+		if err := t.AppendRow(rec); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// WriteCSV emits the table with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(t.Cols))
+	for r := 0; r < t.rows; r++ {
+		for i, c := range t.Cols {
+			if c.Kind == Numeric {
+				row[i] = strconv.FormatFloat(c.Nums[r], 'g', -1, 64)
+			} else {
+				row[i] = c.Cats[r]
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// KeyIndex maps the distinct values of a key column to sequential row
+// numbers, in first-appearance order — the RID → matrix-row mapping of
+// §3.1.
+type KeyIndex struct {
+	byValue map[string]int
+	values  []string
+}
+
+// BuildKeyIndex indexes the named key column, requiring uniqueness (it is
+// a primary key).
+func BuildKeyIndex(t *Table, column string) (*KeyIndex, error) {
+	c, err := t.Column(column)
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind == Numeric {
+		return nil, fmt.Errorf("table: key column %s.%s must not be numeric", t.Name, column)
+	}
+	idx := &KeyIndex{byValue: make(map[string]int, c.Len())}
+	for r, v := range c.Cats {
+		if _, dup := idx.byValue[v]; dup {
+			return nil, fmt.Errorf("table: duplicate primary key %q at %s.%s row %d", v, t.Name, column, r)
+		}
+		idx.byValue[v] = len(idx.values)
+		idx.values = append(idx.values, v)
+	}
+	return idx, nil
+}
+
+// Len reports the number of distinct keys.
+func (ki *KeyIndex) Len() int { return len(ki.values) }
+
+// Lookup resolves a key value to its row number.
+func (ki *KeyIndex) Lookup(v string) (int, bool) {
+	r, ok := ki.byValue[v]
+	return r, ok
+}
+
+// ResolveForeignKey maps the named foreign-key column of t through the
+// primary-key index, yielding the assignment vector for the indicator
+// matrix. Unresolvable keys are an error (referential integrity).
+func ResolveForeignKey(t *Table, column string, pk *KeyIndex) ([]int, error) {
+	c, err := t.Column(column)
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind == Numeric {
+		return nil, fmt.Errorf("table: foreign key column %s.%s must not be numeric", t.Name, column)
+	}
+	out := make([]int, c.Len())
+	for r, v := range c.Cats {
+		row, ok := pk.Lookup(v)
+		if !ok {
+			return nil, fmt.Errorf("table: dangling foreign key %q at %s.%s row %d", v, t.Name, column, r)
+		}
+		out[r] = row
+	}
+	return out, nil
+}
+
+// Vocabulary is the sorted distinct values of a categorical column; the
+// one-hot feature space.
+func (c *Column) Vocabulary() []string {
+	seen := make(map[string]bool, len(c.Cats))
+	for _, v := range c.Cats {
+		seen[v] = true
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,59 @@
+package repro
+
+import (
+	"repro/internal/expr"
+	"repro/internal/table"
+)
+
+// Relational ingestion layer (internal/table): CSV base tables → typed
+// columns → key resolution → one-hot encoding → normalized matrix.
+
+// Table is a typed columnar base table.
+type Table = table.Table
+
+// Column is one typed column of a Table.
+type Column = table.Column
+
+// ColumnKind classifies a column (Numeric, Categorical, Key).
+type ColumnKind = table.ColumnKind
+
+// Column kinds.
+const (
+	Numeric     = table.Numeric
+	Categorical = table.Categorical
+	Key         = table.Key
+)
+
+// JoinSpec declares a star-schema dataset over base tables.
+type JoinSpec = table.JoinSpec
+
+// AttributeRef wires one attribute table into a JoinSpec.
+type AttributeRef = table.AttributeRef
+
+// Table-layer entry points.
+var (
+	ReadCSVTable      = table.ReadCSV
+	BuildJoin         = table.Build
+	BuildKeyIndex     = table.BuildKeyIndex
+	ResolveForeignKey = table.ResolveForeignKey
+)
+
+// LA script layer (internal/expr): lazy expression DAG with the
+// script-level rewrites of §6 (transpose elimination, crossprod
+// recognition, matrix-chain ordering).
+
+// Expr is a lazy LA expression node.
+type Expr = expr.Expr
+
+// Script-layer constructors and the optimizer.
+var (
+	Leaf         = expr.NewLeaf
+	TransposeOf  = expr.Transpose
+	ScaleOf      = expr.Scale
+	ApplyOf      = expr.Apply
+	MulOf        = expr.Mul
+	CrossProdOf  = expr.CrossProd
+	RowSumsOf    = expr.RowSums
+	ColSumsOf    = expr.ColSums
+	OptimizeExpr = expr.Optimize
+)

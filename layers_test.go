@@ -1,0 +1,52 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLayersFacade drives the table and expression layers through the
+// public facade: CSV text → normalized matrix → optimized LA script.
+func TestLayersFacade(t *testing.T) {
+	entity, err := ReadCSVTable("S", strings.NewReader("id,x,fk\na,1.5,r1\nb,2.5,r2\nc,0.5,r1\n"),
+		map[string]ColumnKind{"id": Key, "fk": Key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attr, err := ReadCSVTable("R", strings.NewReader("rid,v,cat\nr1,10,hi\nr2,20,lo\n"),
+		map[string]ColumnKind{"rid": Key, "cat": Categorical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, _, features, err := BuildJoin(JoinSpec{
+		Entity:         entity,
+		EntityFeatures: []string{"x"},
+		Attributes: []AttributeRef{{
+			Table: attr, PrimaryKey: "rid", ForeignKey: "fk",
+			Features: []string{"v", "cat"},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm.Rows() != 3 || nm.Cols() != 4 || len(features) != 4 {
+		t.Fatalf("join %dx%d features %v", nm.Rows(), nm.Cols(), features)
+	}
+
+	// Script layer over the normalized operand: optimize recognizes AᵀA.
+	tl := Leaf("T", nm)
+	e := OptimizeExpr(MulOf(TransposeOf(tl), tl))
+	got := e.Eval().Dense()
+	want := nm.Dense().CrossProd()
+	for i := 0; i < want.Rows(); i++ {
+		for j := 0; j < want.Cols(); j++ {
+			d := got.At(i, j) - want.At(i, j)
+			if d > 1e-9 || d < -1e-9 {
+				t.Fatal("script-layer crossprod mismatch")
+			}
+		}
+	}
+	if !strings.Contains(e.String(), "crossprod") {
+		t.Fatalf("optimizer missed crossprod: %s", e.String())
+	}
+}

@@ -1,0 +1,115 @@
+// Package repro is Morpheus-Go: a Go reproduction of "Towards Linear
+// Algebra over Normalized Data" (Chen, Kumar, Naughton, Patel; VLDB 2017).
+//
+// Morpheus introduces the normalized matrix, a logical data type for
+// multi-table (joined) data, plus algebraic rewrite rules that execute
+// linear-algebra operators over the base tables instead of the materialized
+// join output. ML algorithms written against the Matrix interface are
+// thereby factorized automatically:
+//
+//	S := repro.NewDense(nS, dS)            // entity features
+//	R := repro.NewDense(nR, dR)            // attribute features
+//	K := repro.NewIndicator(fk, nR)        // foreign-key indicator
+//	T, err := repro.NewPKFK(S, K, R)       // normalized matrix — never joins
+//	w, err := repro.LogisticRegressionGD(T, y, nil, repro.Options{Iters: 20, StepSize: 1e-3})
+//
+// Passing the materialized matrix instead of T runs the identical algorithm
+// unfactorized; the outputs agree to floating-point accuracy.
+//
+// The facade re-exports the user-facing API from the internal packages:
+// internal/la (matrix substrate), internal/core (normalized matrix and
+// rewrite rules), internal/ml (the four ML algorithms of the paper's §4).
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/la"
+	"repro/internal/ml"
+)
+
+// Matrix is the operand interface every LA script is written against; both
+// regular matrices and normalized matrices implement it (paper Table 1).
+type Matrix = la.Matrix
+
+// Dense is a row-major dense matrix.
+type Dense = la.Dense
+
+// CSR is a compressed-sparse-row matrix.
+type CSR = la.CSR
+
+// Indicator is a PK-FK / M:N row-selector indicator matrix.
+type Indicator = la.Indicator
+
+// NormalizedMatrix is the paper's logical multi-table data type.
+type NormalizedMatrix = core.NormalizedMatrix
+
+// Stats carries the tuple/feature-ratio statistics of a normalized matrix.
+type Stats = core.Stats
+
+// Advisor is the §3.7 heuristic decision rule.
+type Advisor = core.Advisor
+
+// Options configures the iterative ML algorithms.
+type Options = ml.Options
+
+// KMeansResult holds fitted centroids and assignments.
+type KMeansResult = ml.KMeansResult
+
+// GNMFResult holds the fitted non-negative factors.
+type GNMFResult = ml.GNMFResult
+
+// Matrix constructors.
+var (
+	NewDense      = la.NewDense
+	NewDenseData  = la.NewDenseData
+	DenseFromRows = la.DenseFromRows
+	Eye           = la.Eye
+	Ones          = la.Ones
+	ColVector     = la.ColVector
+	RowVector     = la.RowVector
+	NewCSRBuilder = la.NewCSRBuilder
+	CSRFromDense  = la.CSRFromDense
+	NewIndicator  = la.NewIndicator
+)
+
+// Normalized-matrix constructors (§3.1, §3.5, §3.6).
+var (
+	NewPKFK    = core.NewPKFK
+	NewStar    = core.NewStar
+	NewMN      = core.NewMN
+	NewMultiMN = core.NewMultiMN
+)
+
+// DefaultAdvisor returns the τ=5, ρ=1 decision rule of §5.1.
+var DefaultAdvisor = core.DefaultAdvisor
+
+// The automatically factorized ML algorithms of §4, plus ridge regression
+// and PCA as generality demonstrations, and scoring helpers.
+var (
+	LogisticRegressionGD     = ml.LogisticRegressionGD
+	LogisticLoss             = ml.LogisticLoss
+	LinearRegressionNE       = ml.LinearRegressionNE
+	LinearRegressionGD       = ml.LinearRegressionGD
+	LinearRegressionCofactor = ml.LinearRegressionCofactor
+	KMeans                   = ml.KMeans
+	GNMF                     = ml.GNMF
+	RidgeRegression          = ml.RidgeRegression
+	PCA                      = ml.PCA
+	PredictLinear            = ml.PredictLinear
+	PredictLogistic          = ml.PredictLogistic
+	ClassifyLogistic         = ml.ClassifyLogistic
+	Accuracy                 = ml.Accuracy
+	RMSE                     = ml.RMSE
+)
+
+// PCAResult holds fitted principal components.
+type PCAResult = ml.PCAResult
+
+// Dense linear-algebra helpers re-exported for building scripts.
+var (
+	MatMul  = la.MatMul
+	TMatMul = la.TMatMul
+	MatMulT = la.MatMulT
+	Ginv    = la.Ginv
+	SymGinv = la.SymGinv
+)

@@ -1,0 +1,73 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README
+// quickstart describes it.
+func TestFacadeEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nS, dS, nR, dR := 120, 3, 8, 5
+	s := NewDense(nS, dS)
+	for i := range s.Data() {
+		s.Data()[i] = rng.NormFloat64()
+	}
+	r := NewDense(nR, dR)
+	for i := range r.Data() {
+		r.Data()[i] = rng.NormFloat64()
+	}
+	fk := make([]int, nS)
+	for i := range fk {
+		fk[i] = rng.Intn(nR)
+	}
+	k := NewIndicator(fk, nR)
+	tn, err := NewPKFK(s, k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := tn.Dense()
+
+	// Labels.
+	y := NewDense(nS, 1)
+	for i := range y.Data() {
+		if rng.Intn(2) == 0 {
+			y.Data()[i] = 1
+		} else {
+			y.Data()[i] = -1
+		}
+	}
+
+	// The same script, materialized vs factorized.
+	opt := Options{Iters: 10, StepSize: 1e-3}
+	wM, err := LogisticRegressionGD(td, y, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wF, err := LogisticRegressionGD(tn, y, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wM.Data() {
+		if d := wM.Data()[i] - wF.Data()[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatal("facade: materialized vs factorized weights differ")
+		}
+	}
+
+	// Decision rule over the facade types.
+	var st Stats = tn.ComputeStats()
+	adv := DefaultAdvisor()
+	if got := adv.ShouldFactorize(st); got != (st.TupleRatio >= 5 && st.FeatureRatio >= 1) {
+		t.Fatal("advisor inconsistent")
+	}
+
+	// Matrix interface polymorphism.
+	var ops []Matrix = []Matrix{td, tn, CSRFromDense(td)}
+	want := td.Sum()
+	for _, m := range ops {
+		if d := m.Sum() - want; d > 1e-6 || d < -1e-6 {
+			t.Fatal("Sum differs across implementations")
+		}
+	}
+}
