@@ -19,6 +19,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/orion"
 	"repro/internal/realdata"
+	"repro/internal/serve"
 )
 
 // benchPKFK generates the scaled Table 4 dataset for a TR×FR cell.
@@ -479,6 +480,134 @@ func BenchmarkCrossprodAblation(b *testing.B) {
 	b.Run("EfficientAlgo2", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			nm.CrossProd()
+		}
+	})
+}
+
+// --- Serving: cached-partial scoring vs naive factorized prediction ---
+
+// serveSetup trains a quick logistic model on a Table 4-shaped dataset and
+// builds the cached-partial scorer for it.
+func serveSetup(b *testing.B, tr int, fr float64) (*core.NormalizedMatrix, *la.Dense, *serve.Scorer) {
+	b.Helper()
+	nm, _ := benchPKFK(b, tr, fr)
+	y := datagen.Labels(nm, 0, true, 1)
+	w, err := ml.LogisticRegressionGD(nm, y, nil, ml.Options{Iters: 5, StepSize: 1e-6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := serve.NewScorer(nm, w, serve.Logistic)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nm, w, sc
+}
+
+// BenchmarkServeScoreAll scores the entire feature store: the naive path
+// reruns the factorized multiply (ml.PredictLogistic on the normalized
+// matrix), the cached path gathers precomputed partials. Cells sweep the
+// tuple/feature ratios of Fig. 3; the dR ≫ dS cells are where serving-time
+// factorization matters most.
+func BenchmarkServeScoreAll(b *testing.B) {
+	for _, cell := range []struct {
+		tr int
+		fr float64
+	}{{5, 1}, {20, 2}, {20, 4}} {
+		nm, w, sc := serveSetup(b, cell.tr, cell.fr)
+		b.Run(fmt.Sprintf("TR%d_FR%g", cell.tr, cell.fr), func(b *testing.B) {
+			b.Run("NaivePredict", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ml.PredictLogistic(nm, w)
+				}
+			})
+			b.Run("CachedPartials", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sc.ScoreAll()
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkServeScoreBatch serves a fixed 1024-request batch of row ids.
+// The naive baseline must rerun the full factorized predictor and pick the
+// requested rows (ml's predictors have no per-row path — that is exactly
+// the serving gap internal/serve closes).
+func BenchmarkServeScoreBatch(b *testing.B) {
+	for _, cell := range []struct {
+		tr int
+		fr float64
+	}{{5, 1}, {20, 4}} {
+		nm, w, sc := serveSetup(b, cell.tr, cell.fr)
+		ids := make([]int, 1024)
+		for i := range ids {
+			ids[i] = (i * 7919) % nm.Rows()
+		}
+		b.Run(fmt.Sprintf("TR%d_FR%g", cell.tr, cell.fr), func(b *testing.B) {
+			b.Run("NaivePredict", func(b *testing.B) {
+				out := make([]float64, len(ids))
+				for i := 0; i < b.N; i++ {
+					p := ml.PredictLogistic(nm, w)
+					for j, id := range ids {
+						out[j] = p.At(id, 0)
+					}
+				}
+			})
+			b.Run("CachedPartials", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sc.ScoreBatch(ids); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkServeScoreRow is the single-request latency comparison.
+func BenchmarkServeScoreRow(b *testing.B) {
+	nm, w, sc := serveSetup(b, 20, 4)
+	b.Run("NaivePredict", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ml.PredictLogistic(nm, w).At(i%nm.Rows(), 0)
+		}
+	})
+	b.Run("CachedPartials", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sc.ScoreRow(i % nm.Rows()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServeUpdateWeights measures the cost of a model hot-swap (the
+// explicit cache invalidation point).
+func BenchmarkServeUpdateWeights(b *testing.B) {
+	_, w, sc := serveSetup(b, 20, 4)
+	for i := 0; i < b.N; i++ {
+		if err := sc.UpdateWeights(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeBatcher pushes concurrent single-row traffic through the
+// micro-batching frontend (8 client goroutines per core so coalescing has
+// traffic to work with).
+func BenchmarkServeBatcher(b *testing.B) {
+	nm, _, sc := serveSetup(b, 20, 2)
+	bt := serve.NewBatcher(sc, serve.BatchOptions{})
+	defer bt.Close()
+	b.SetParallelism(8)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := bt.Score(i % nm.Rows()); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
 		}
 	})
 }

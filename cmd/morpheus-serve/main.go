@@ -1,0 +1,206 @@
+// Command morpheus-serve demonstrates the factorized scoring service: it
+// trains a model over a generated normalized dataset (never materializing
+// the join), builds a cached-partial Scorer, and then serves scoring
+// requests read from stdin.
+//
+// Usage:
+//
+//	morpheus-serve -ns 20000 -ds 20 -nr 1000 -dr 80 -model logreg <ids.txt
+//
+// Each input line is one request: a row id, or a comma-separated list of
+// row ids (CSV) served as one batch. The special line "all" scores every
+// row. Output is "id,score" per request row. With -compare, the tool first
+// reports the cached-partial speedup over rerunning the factorized
+// predictor.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/la"
+	"repro/internal/ml"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		ns      = flag.Int("ns", 20000, "entity tuples (fact-table rows)")
+		ds      = flag.Int("ds", 20, "entity features")
+		nr      = flag.Int("nr", 1000, "attribute-table tuples")
+		dr      = flag.Int("dr", 80, "attribute features")
+		tables  = flag.Int("tables", 1, "attribute tables (star schema when > 1)")
+		model   = flag.String("model", "logreg", "model: logreg | linreg")
+		iters   = flag.Int("iters", 20, "training iterations")
+		step    = flag.Float64("step", 1e-6, "gradient-descent step size")
+		seed    = flag.Int64("seed", 1, "data generator seed")
+		batch   = flag.Int("batch", 256, "micro-batch size")
+		delay   = flag.Duration("delay", 100*time.Microsecond, "micro-batch max delay")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		compare = flag.Bool("compare", false, "report cached vs naive scoring throughput before serving")
+	)
+	flag.Parse()
+
+	head := serve.Logistic
+	binarize := true
+	if *model == "linreg" {
+		head = serve.Linear
+		binarize = false
+	} else if *model != "logreg" {
+		fail("unknown -model %q (want logreg or linreg)", *model)
+	}
+
+	nm, err := generate(*ns, *ds, *nr, *dr, *tables, *seed)
+	if err != nil {
+		fail("generating data: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "dataset: %d rows x %d features over %d attribute table(s)\n",
+		nm.Rows(), nm.Cols(), nm.NumTables())
+	y := datagen.Labels(nm, 0.1, binarize, *seed+1)
+	start := time.Now()
+	var w *la.Dense
+	if head == serve.Logistic {
+		w, err = ml.LogisticRegressionGD(nm, y, nil, ml.Options{Iters: *iters, StepSize: *step})
+	} else {
+		w, err = ml.LinearRegressionGD(nm, y, nil, ml.Options{Iters: *iters, StepSize: *step})
+	}
+	if err != nil {
+		fail("training: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "trained %s factorized in %v\n", *model, time.Since(start).Round(time.Millisecond))
+
+	sc, err := serve.NewScorer(nm, w, head)
+	if err != nil {
+		fail("building scorer: %v", err)
+	}
+	if *compare {
+		reportSpeedup(sc, nm.Rows(), head, w)
+	}
+	b := serve.NewBatcher(sc, serve.BatchOptions{MaxBatch: *batch, MaxDelay: *delay, Workers: *workers})
+	defer b.Close()
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		handleRequest(line, sc, b, out)
+		// Flush per request so interactive callers see their response
+		// immediately rather than at buffer/EOF boundaries.
+		out.Flush()
+	}
+	if err := in.Err(); err != nil {
+		fail("reading stdin: %v", err)
+	}
+}
+
+// handleRequest serves one input line: "all", a single row id, or a
+// comma-separated batch. Bad requests are reported to stderr and skipped.
+func handleRequest(line string, sc *serve.Scorer, b *serve.Batcher, out *bufio.Writer) {
+	if line == "all" {
+		for id, v := range sc.ScoreAll() {
+			fmt.Fprintf(out, "%d,%g\n", id, v)
+		}
+		return
+	}
+	ids, err := parseIDs(line)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skipping %q: %v\n", line, err)
+		return
+	}
+	if len(ids) == 1 {
+		v, err := b.Score(ids[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %d: %v\n", ids[0], err)
+			return
+		}
+		fmt.Fprintf(out, "%d,%g\n", ids[0], v)
+		return
+	}
+	vs, err := sc.ScoreBatch(ids)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skipping %q: %v\n", line, err)
+		return
+	}
+	for i, id := range ids {
+		fmt.Fprintf(out, "%d,%g\n", id, vs[i])
+	}
+}
+
+func generate(ns, ds, nr, dr, tables int, seed int64) (*core.NormalizedMatrix, error) {
+	if tables <= 1 {
+		return datagen.PKFK(datagen.PKFKSpec{NS: ns, DS: ds, NR: nr, DR: dr, Seed: seed})
+	}
+	nrs := make([]int, tables)
+	drs := make([]int, tables)
+	for i := range nrs {
+		nrs[i] = nr
+		drs[i] = dr
+	}
+	return datagen.Star(datagen.StarSpec{NS: ns, DS: ds, NR: nrs, DR: drs, Seed: seed})
+}
+
+// reportSpeedup times scoring every row via the cached partials against
+// rerunning the factorized predictor, mirroring BenchmarkServe*.
+func reportSpeedup(sc *serve.Scorer, rows int, head serve.Head, w *la.Dense) {
+	nm := sc.Matrix()
+	const reps = 5
+	naive := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		if head == serve.Logistic {
+			ml.PredictLogistic(nm, w)
+		} else {
+			ml.PredictLinear(nm, w)
+		}
+		if d := time.Since(t0); d < naive {
+			naive = d
+		}
+	}
+	cached := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		sc.ScoreAll()
+		if d := time.Since(t0); d < cached {
+			cached = d
+		}
+	}
+	fmt.Fprintf(os.Stderr, "scoring %d rows: naive factorized %v, cached partials %v (%.1fx)\n",
+		rows, naive, cached, float64(naive)/float64(cached))
+}
+
+func parseIDs(line string) ([]int, error) {
+	fields := strings.Split(line, ",")
+	ids := make([]int, 0, len(fields))
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		id, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad row id %q", f)
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("no row ids")
+	}
+	return ids, nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "morpheus-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

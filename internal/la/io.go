@@ -167,9 +167,16 @@ func ReadCSR(r io.Reader) (*CSR, error) {
 			return nil, fmt.Errorf("la: corrupt CSR indptr at row %d", i)
 		}
 	}
-	for _, j := range indices {
-		if j < 0 || int(j) >= cols {
-			return nil, fmt.Errorf("la: corrupt CSR column index %d", j)
+	for i := 0; i < rows; i++ {
+		prev := int32(-1)
+		for _, j := range indices[indptr[i]:indptr[i+1]] {
+			if j < 0 || int(j) >= cols {
+				return nil, fmt.Errorf("la: corrupt CSR column index %d", j)
+			}
+			if j <= prev {
+				return nil, fmt.Errorf("la: corrupt CSR row %d: column %d not after %d", i, j, prev)
+			}
+			prev = j
 		}
 	}
 	return NewCSR(rows, cols, indptr, indices, vals), nil

@@ -1,0 +1,29 @@
+package la
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCorruptCSRRoundtrip(t *testing.T) {
+	// Valid matrix, encode, then corrupt the indices to be non-increasing.
+	c := NewCSR(1, 3, []int{0, 2}, []int32{0, 2}, []float64{1, 2})
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Layout ends with indices (nnz int32s) then vals (nnz float64s):
+	// swap the two int32 column indices (0,2) -> (2,0) so the single row
+	// becomes non-increasing while indptr stays valid.
+	idx := len(raw) - 2*8 - 2*4
+	if raw[idx] != 0 || raw[idx+4] != 2 {
+		t.Fatalf("unexpected index bytes % x", raw[idx:idx+8])
+	}
+	raw[idx], raw[idx+4] = 2, 0
+	out, err := ReadCSR(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatalf("corrupt CSR accepted: %v", out)
+	}
+	t.Logf("got error (not panic): %v", err)
+}

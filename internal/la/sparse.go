@@ -17,13 +17,38 @@ type CSR struct {
 }
 
 // NewCSR wraps pre-built CSR arrays without copying. indptr must have
-// rows+1 entries; per-row column indices must be strictly increasing.
+// rows+1 entries starting at 0 and non-decreasing; per-row column indices
+// must be strictly increasing and within [0, cols). Violations panic, so a
+// constructed CSR always satisfies the invariants every kernel indexes by.
 func NewCSR(rows, cols int, indptr []int, indices []int32, vals []float64) *CSR {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("la: negative CSR dimensions %dx%d", rows, cols))
+	}
 	if len(indptr) != rows+1 {
 		panic(fmt.Sprintf("la: indptr length %d != rows+1 %d", len(indptr), rows+1))
 	}
+	if indptr[0] != 0 {
+		panic(fmt.Sprintf("la: indptr[0] = %d, want 0", indptr[0]))
+	}
+	for i := 0; i < rows; i++ {
+		if indptr[i+1] < indptr[i] {
+			panic(fmt.Sprintf("la: indptr decreases at row %d: %d -> %d", i, indptr[i], indptr[i+1]))
+		}
+	}
 	if len(indices) != len(vals) || len(indices) != indptr[rows] {
 		panic("la: CSR arrays inconsistent")
+	}
+	for i := 0; i < rows; i++ {
+		prev := int32(-1)
+		for _, j := range indices[indptr[i]:indptr[i+1]] {
+			if j < 0 || int(j) >= cols {
+				panic(fmt.Sprintf("la: CSR column %d out of range [0,%d) in row %d", j, cols, i))
+			}
+			if j <= prev {
+				panic(fmt.Sprintf("la: CSR columns not strictly increasing in row %d (%d after %d)", i, j, prev))
+			}
+			prev = j
+		}
 	}
 	return &CSR{rows: rows, cols: cols, indptr: indptr, indices: indices, vals: vals}
 }

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// BatchOptions tunes the micro-batching dispatcher.
+type BatchOptions struct {
+	// MaxBatch is the largest number of requests coalesced into one gather
+	// pass (default 256).
+	MaxBatch int
+	// MaxDelay bounds how long the first request of a batch waits for
+	// company (default 100µs).
+	MaxDelay time.Duration
+	// Workers bounds how many batches execute concurrently
+	// (default GOMAXPROCS).
+	Workers int
+}
+
+func (o BatchOptions) withDefaults() BatchOptions {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 100 * time.Microsecond
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// BatchScorer is the backend contract the Batcher coalesces over; *Scorer
+// implements it, and wrappers (instrumentation, sharding) can too.
+type BatchScorer interface {
+	Rows() int
+	ScoreBatch(ids []int) ([]float64, error)
+}
+
+// Batcher coalesces concurrent single-row scoring calls into shared batch
+// gather passes. Callers block in Score until their batch executes; a
+// dispatcher goroutine groups arrivals (up to MaxBatch, waiting at most
+// MaxDelay) and hands each group to a bounded worker pool, so heavy
+// concurrent traffic amortizes into a few wide ScoreBatch calls instead of
+// many single-row lock acquisitions.
+type Batcher struct {
+	sc   BatchScorer
+	opt  BatchOptions
+	reqs chan batchReq // unbuffered: a send succeeds only while the dispatcher lives
+	quit chan struct{}
+	sem  chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+type batchReq struct {
+	id  int
+	out chan batchResp
+}
+
+type batchResp struct {
+	score float64
+	err   error
+}
+
+// NewBatcher starts a micro-batching frontend over sc.
+func NewBatcher(sc BatchScorer, opt BatchOptions) *Batcher {
+	opt = opt.withDefaults()
+	b := &Batcher{
+		sc:   sc,
+		opt:  opt,
+		reqs: make(chan batchReq),
+		quit: make(chan struct{}),
+		sem:  make(chan struct{}, opt.Workers),
+	}
+	b.wg.Add(1)
+	go b.dispatch()
+	return b
+}
+
+// Score serves one prediction, transparently sharing a gather pass with
+// concurrent callers. It blocks until the result is ready or the batcher is
+// closed.
+func (b *Batcher) Score(id int) (float64, error) {
+	if id < 0 || id >= b.sc.Rows() {
+		return 0, ErrRowRange
+	}
+	out := make(chan batchResp, 1)
+	select {
+	case b.reqs <- batchReq{id: id, out: out}:
+	case <-b.quit:
+		return 0, ErrClosed
+	}
+	r := <-out
+	return r.score, r.err
+}
+
+// Close stops the dispatcher and waits for in-flight batches to finish.
+// Requests accepted before Close are still answered; later Score calls
+// return ErrClosed.
+func (b *Batcher) Close() {
+	b.once.Do(func() { close(b.quit) })
+	b.wg.Wait()
+}
+
+func (b *Batcher) dispatch() {
+	defer b.wg.Done()
+	for {
+		select {
+		case <-b.quit:
+			return
+		case first := <-b.reqs:
+			batch := b.collect(first)
+			b.run(batch)
+		}
+	}
+}
+
+// collect grows a batch from the first request. Senders blocked on the
+// unbuffered request channel are drained greedily — under load, coalescing
+// emerges from backpressure with no added latency. Only a lone request
+// waits (up to MaxDelay) for company before going out solo.
+func (b *Batcher) collect(first batchReq) []batchReq {
+	batch := make([]batchReq, 1, b.opt.MaxBatch)
+	batch[0] = first
+	batch = b.drain(batch)
+	if len(batch) > 1 || len(batch) == b.opt.MaxBatch {
+		return batch
+	}
+	timer := time.NewTimer(b.opt.MaxDelay)
+	defer timer.Stop()
+	select {
+	case r := <-b.reqs:
+		batch = append(batch, r)
+		return b.drain(batch)
+	case <-timer.C:
+		return batch
+	case <-b.quit:
+		return batch
+	}
+}
+
+// drain performs non-blocking receives until the channel is momentarily
+// empty or the batch is full.
+func (b *Batcher) drain(batch []batchReq) []batchReq {
+	for len(batch) < b.opt.MaxBatch {
+		select {
+		case r := <-b.reqs:
+			batch = append(batch, r)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// run executes one batch on the worker pool, blocking for a slot so at most
+// Workers batches are in flight.
+func (b *Batcher) run(batch []batchReq) {
+	b.sem <- struct{}{}
+	b.wg.Add(1)
+	go func() {
+		defer func() {
+			<-b.sem
+			b.wg.Done()
+		}()
+		ids := make([]int, len(batch))
+		for i, r := range batch {
+			ids[i] = r.id
+		}
+		scores, err := b.sc.ScoreBatch(ids)
+		for i, r := range batch {
+			if err != nil {
+				r.out <- batchResp{err: err}
+			} else {
+				r.out <- batchResp{score: scores[i]}
+			}
+		}
+	}()
+}

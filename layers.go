@@ -2,6 +2,7 @@ package repro
 
 import (
 	"repro/internal/expr"
+	"repro/internal/serve"
 	"repro/internal/table"
 )
 
@@ -56,4 +57,37 @@ var (
 	RowSumsOf    = expr.RowSums
 	ColSumsOf    = expr.ColSums
 	OptimizeExpr = expr.Optimize
+)
+
+// Serving layer (internal/serve): concurrent batched scoring over a
+// normalized feature store with cached attribute-table partial products
+// (T·w = S·wS + Σ K_i·(R_i·w_{R_i}), precomputed per model).
+
+// Scorer answers single-row and batch prediction requests from cached
+// partials; weights swap atomically via UpdateWeights.
+type Scorer = serve.Scorer
+
+// Batcher coalesces concurrent single-row scoring calls into shared batch
+// gather passes on a bounded worker pool.
+type Batcher = serve.Batcher
+
+// BatchOptions tunes the Batcher's micro-batching dispatcher.
+type BatchOptions = serve.BatchOptions
+
+// BatchScorer is the backend contract a Batcher coalesces over.
+type BatchScorer = serve.BatchScorer
+
+// ScoreHead selects the scorer's link function.
+type ScoreHead = serve.Head
+
+// Scorer link functions.
+const (
+	LinearHead   = serve.Linear
+	LogisticHead = serve.Logistic
+)
+
+// Serving-layer entry points.
+var (
+	NewScorer  = serve.NewScorer
+	NewBatcher = serve.NewBatcher
 )
