@@ -463,6 +463,56 @@ func BenchmarkTable10OutOfCoreMN(b *testing.B) {
 	})
 }
 
+// BenchmarkChunkedGLMSerialVsParallel records the tentpole comparison:
+// the same chunked GLM iterations under the strictly serial engine
+// (read-compute-read, the pre-parallel behavior) and under the
+// prefetching parallel pipeline. Results are bit-identical (ordered
+// commit); on a multi-core runner the parallel path should be ≥2× faster.
+func BenchmarkChunkedGLMSerialVsParallel(b *testing.B) {
+	nm, td := benchPKFK(b, 20, 2)
+	y := datagen.Labels(nm, 0, true, 1)
+	store, err := chunk.NewStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	tM, err := chunk.FromDense(store, td, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sM, err := chunk.FromDense(store, nm.S().Dense(), 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fkv, err := chunk.BuildIntVector(store, nm.Ks()[0].Assignments(), 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nt, err := chunk.NewNormalizedTable(sM, fkv, nm.Rs()[0].Dense())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		ex   chunk.Exec
+	}{{"Serial", chunk.Serial}, {"Parallel", chunk.Parallel()}} {
+		b.Run("M/"+mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := chunk.LogRegMaterializedExec(mode.ex, tM, y, 2, 1e-6); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("F/"+mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := chunk.LogRegFactorizedExec(mode.ex, nt, y, 2, 1e-6); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Ablation: naive vs efficient cross-product (Algorithms 1 vs 2) ---
 
 func BenchmarkCrossprodAblation(b *testing.B) {

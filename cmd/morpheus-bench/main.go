@@ -7,11 +7,17 @@
 //	morpheus-bench -list                # show experiment IDs
 //	morpheus-bench -exp fig5 -scale 2   # grow workloads toward paper scale
 //	morpheus-bench -exp table9 -tmpdir /fast/disk
+//	morpheus-bench -chunked             # out-of-core engine: serial vs parallel
+//	morpheus-bench -chunked -workers 4  # ... with a fixed worker count
 //
 // Each experiment prints a text table with the materialized (M) and
 // factorized (F) runtimes and the speed-up, mirroring the series in the
 // corresponding paper table/figure. See EXPERIMENTS.md for the mapping and
 // the paper-vs-measured record.
+//
+// -chunked runs the out-of-core suite: the serial-vs-parallel engine
+// comparison (chunkpar) followed by the §5.2.4 Tables 9 and 10, all under
+// the parallel prefetching chunk pipeline.
 package main
 
 import (
@@ -25,11 +31,13 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment ID (or 'all')")
-		scale  = flag.Float64("scale", 1, "workload scale factor (1 = laptop defaults)")
-		seed   = flag.Int64("seed", 1, "data generation seed")
-		tmpdir = flag.String("tmpdir", "", "directory for out-of-core chunk stores (default: system temp)")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		exp     = flag.String("exp", "", "experiment ID (or 'all')")
+		scale   = flag.Float64("scale", 1, "workload scale factor (1 = laptop defaults)")
+		seed    = flag.Int64("seed", 1, "data generation seed")
+		tmpdir  = flag.String("tmpdir", "", "directory for out-of-core chunk stores (default: system temp)")
+		workers = flag.Int("workers", 0, "out-of-core chunk workers (0 = GOMAXPROCS)")
+		chunked = flag.Bool("chunked", false, "run the out-of-core suite (chunkpar, table9, table10)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
 
@@ -37,14 +45,22 @@ func main() {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 		return
 	}
-	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "morpheus-bench: -exp is required (try -list)")
+	if *exp == "" && !*chunked {
+		fmt.Fprintln(os.Stderr, "morpheus-bench: -exp is required (try -list or -chunked)")
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, TmpDir: *tmpdir}
-	ids := []string{*exp}
-	if *exp == "all" {
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, TmpDir: *tmpdir, Workers: *workers}
+	var ids []string
+	switch {
+	case *chunked:
+		ids = []string{"chunkpar", "table9", "table10"}
+		if *exp != "" {
+			fmt.Fprintln(os.Stderr, "morpheus-bench: -chunked ignores -exp")
+		}
+	case *exp == "all":
 		ids = experiments.IDs()
+	default:
+		ids = []string{*exp}
 	}
 	seen := map[string]bool{}
 	for _, id := range ids {

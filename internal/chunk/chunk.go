@@ -6,23 +6,53 @@
 // that the materialized matrix pays per-iteration I/O plus FLOPs
 // proportional to nS·(dS+dR) while the factorized version streams only the
 // base tables (Tables 9 and 10).
+//
+// Execution is pipelined and parallel: every streaming pass runs as
+//
+//	reader ──bounded prefetch──▶ compute workers ──▶ ordered commit
+//
+// so the next chunks are read from disk while the current ones are being
+// computed, and independent chunks proceed on all cores. Reductions are
+// committed in chunk order, which makes parallel results bit-identical to
+// the serial pass. See Exec, Serial, and Parallel.
+//
+// Chunk files are refcounted by their Store: Matrix.Free releases a
+// matrix's chunks as soon as a pipeline no longer needs the intermediate,
+// and Store.Close removes whatever is left, so long pipelines do not
+// accumulate dead spill files.
 package chunk
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/la"
 )
 
-// Store manages on-disk chunks under a directory.
+// ErrClosed is returned when allocating chunks in a closed store.
+var ErrClosed = errors.New("chunk: store closed")
+
+// ErrFreed is returned when streaming a matrix whose chunks were freed.
+var ErrFreed = errors.New("chunk: use of freed matrix")
+
+// Store manages on-disk chunks under a directory. Chunk files are
+// refcounted: matrices register their chunks at creation, Free releases
+// them (files are deleted when the last referencing matrix is freed), and
+// Close deletes every file the store still tracks. A Store is safe for
+// concurrent use.
 type Store struct {
-	dir  string
-	next int
+	dir string
+
+	mu     sync.Mutex
+	next   int
+	refs   map[string]int
+	closed bool
 }
 
 // NewStore creates (if needed) and wraps a chunk directory.
@@ -30,12 +60,85 @@ func NewStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("chunk: creating store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, refs: make(map[string]int)}, nil
 }
 
-func (s *Store) newPath() string {
-	s.next++
-	return filepath.Join(s.dir, fmt.Sprintf("chunk-%06d.bin", s.next))
+// alloc reserves n fresh chunk paths, each with an initial refcount of 1.
+func (s *Store) alloc(n int) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	paths := make([]string, n)
+	for i := range paths {
+		s.next++
+		p := filepath.Join(s.dir, fmt.Sprintf("chunk-%06d.bin", s.next))
+		s.refs[p] = 1
+		paths[i] = p
+	}
+	return paths, nil
+}
+
+// retain increments the refcount of every path.
+func (s *Store) retain(paths []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range paths {
+		if _, ok := s.refs[p]; ok {
+			s.refs[p]++
+		}
+	}
+}
+
+// release decrements refcounts and deletes files that reach zero. Missing
+// files (e.g. a failed write that never created one) are not errors.
+func (s *Store) release(paths []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for _, p := range paths {
+		n, ok := s.refs[p]
+		if !ok {
+			continue
+		}
+		if n > 1 {
+			s.refs[p] = n - 1
+			continue
+		}
+		delete(s.refs, p)
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// LiveChunks reports how many chunk files the store currently tracks.
+func (s *Store) LiveChunks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.refs)
+}
+
+// Close deletes every chunk file the store still tracks and marks the
+// store closed; subsequent chunk allocations fail with ErrClosed. The
+// directory itself is left in place (the caller created it).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var firstErr error
+	for p := range s.refs {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.refs = make(map[string]int)
+	return firstErr
 }
 
 // Matrix is a dense matrix partitioned into fixed-height row chunks, each
@@ -46,6 +149,7 @@ type Matrix struct {
 	rows, cols int
 	chunkRows  int
 	paths      []string
+	freed      bool
 }
 
 // Rows reports the number of rows.
@@ -57,59 +161,95 @@ func (m *Matrix) Cols() int { return m.cols }
 // NumChunks reports the chunk count.
 func (m *Matrix) NumChunks() int { return len(m.paths) }
 
+// ChunkRows reports the chunk height.
+func (m *Matrix) ChunkRows() int { return m.chunkRows }
+
+// Free releases the matrix's chunk files (deleting each once no other
+// Retain-ed handle references it). Freeing is idempotent; streaming a
+// freed matrix fails with ErrFreed. Free is not safe to race with an
+// in-flight pipeline over the same matrix.
+func (m *Matrix) Free() error {
+	if m == nil || m.freed {
+		return nil
+	}
+	m.freed = true
+	return m.store.release(m.paths)
+}
+
+// Retain returns a new handle sharing this matrix's chunk files. The
+// files are deleted only after every handle (the original and all
+// retained ones) has been freed, which lets pipelines hand intermediates
+// to consumers with independent lifetimes. Retaining an already-freed
+// matrix yields a handle that is itself freed (its files are gone), so
+// streaming it reports ErrFreed instead of a confusing missing-file
+// error.
+func (m *Matrix) Retain() *Matrix {
+	if !m.freed {
+		m.store.retain(m.paths)
+	}
+	return &Matrix{store: m.store, rows: m.rows, cols: m.cols, chunkRows: m.chunkRows, paths: m.paths, freed: m.freed}
+}
+
+func numChunks(rows, chunkRows int) int {
+	return (rows + chunkRows - 1) / chunkRows
+}
+
 // FromDense partitions d into chunks of chunkRows rows and spills them.
 func FromDense(store *Store, d *la.Dense, chunkRows int) (*Matrix, error) {
 	if chunkRows <= 0 {
 		return nil, fmt.Errorf("chunk: chunkRows must be positive, got %d", chunkRows)
 	}
-	m := &Matrix{store: store, rows: d.Rows(), cols: d.Cols(), chunkRows: chunkRows}
-	for lo := 0; lo < d.Rows(); lo += chunkRows {
-		hi := lo + chunkRows
-		if hi > d.Rows() {
-			hi = d.Rows()
-		}
-		path := store.newPath()
-		if err := writeChunk(path, d.SliceRowsDense(lo, hi)); err != nil {
-			return nil, err
-		}
-		m.paths = append(m.paths, path)
-	}
-	return m, nil
+	return Build(store, d.Rows(), d.Cols(), chunkRows, func(lo, hi int, dst *la.Dense) {
+		copy(dst.Data(), d.Data()[lo*d.Cols():hi*d.Cols()])
+	})
 }
 
 // Build streams rows from gen (called once per chunk with the half-open row
 // range) directly to disk, so matrices larger than memory can be created.
+// On failure every chunk written so far is removed.
 func Build(store *Store, rows, cols, chunkRows int, gen func(lo, hi int, dst *la.Dense)) (*Matrix, error) {
 	if chunkRows <= 0 {
 		return nil, fmt.Errorf("chunk: chunkRows must be positive, got %d", chunkRows)
 	}
-	m := &Matrix{store: store, rows: rows, cols: cols, chunkRows: chunkRows}
-	for lo := 0; lo < rows; lo += chunkRows {
-		hi := lo + chunkRows
-		if hi > rows {
-			hi = rows
+	paths, err := store.alloc(numChunks(rows, chunkRows))
+	if err != nil {
+		return nil, err
+	}
+	m := &Matrix{store: store, rows: rows, cols: cols, chunkRows: chunkRows, paths: paths}
+	buf := la.NewDense(min(chunkRows, rows), cols)
+	for ci := range paths {
+		lo, hi := m.chunkBounds(ci)
+		dst := buf
+		if hi-lo != buf.Rows() {
+			dst = la.NewDense(hi-lo, cols)
+		} else {
+			clear(dst.Data())
 		}
-		buf := la.NewDense(hi-lo, cols)
-		gen(lo, hi, buf)
-		path := store.newPath()
-		if err := writeChunk(path, buf); err != nil {
+		gen(lo, hi, dst)
+		if err := writeChunk(paths[ci], dst); err != nil {
+			store.release(paths)
 			return nil, err
 		}
-		m.paths = append(m.paths, path)
 	}
 	return m, nil
 }
 
+// writeChunk encodes d row by row into a reusable buffer and issues one
+// buffered Write per row instead of one per element.
 func writeChunk(path string, d *la.Dense) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("chunk: %w", err)
 	}
 	w := bufio.NewWriterSize(f, 1<<20)
-	var b [8]byte
-	for _, v := range d.Data() {
-		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-		if _, err := w.Write(b[:]); err != nil {
+	cols := d.Cols()
+	buf := make([]byte, 8*cols)
+	data := d.Data()
+	for off := 0; off+cols <= len(data) && cols > 0; off += cols {
+		for j, v := range data[off : off+cols] {
+			binary.LittleEndian.PutUint64(buf[j*8:], math.Float64bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
 			f.Close()
 			return fmt.Errorf("chunk: %w", err)
 		}
@@ -118,7 +258,10 @@ func writeChunk(path string, d *la.Dense) error {
 		f.Close()
 		return fmt.Errorf("chunk: %w", err)
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("chunk: %w", err)
+	}
+	return nil
 }
 
 func readChunk(path string, rows, cols int) (*la.Dense, error) {
@@ -145,29 +288,87 @@ func (m *Matrix) chunkBounds(i int) (lo, hi int) {
 	return lo, hi
 }
 
-// ForEach streams every chunk through fn in row order (the ore.rowapply
-// analogue).
-func (m *Matrix) ForEach(fn func(lo int, chunk *la.Dense) error) error {
-	for i, path := range m.paths {
-		lo, hi := m.chunkBounds(i)
-		c, err := readChunk(path, hi-lo, m.cols)
-		if err != nil {
-			return err
-		}
-		if err := fn(lo, c); err != nil {
-			return err
-		}
+func (m *Matrix) readAt(ci int) (*la.Dense, error) {
+	lo, hi := m.chunkBounds(ci)
+	return readChunk(m.paths[ci], hi-lo, m.cols)
+}
+
+// pipeline runs the chunk pipeline over this matrix.
+func (m *Matrix) pipeline(ex Exec, mapFn func(ci, lo int, c *la.Dense) (any, error), commit func(ci int, v any) error) error {
+	if m.freed {
+		return ErrFreed
 	}
-	return nil
+	return runPipeline(len(m.paths), ex,
+		m.readAt,
+		func(ci int, c *la.Dense) (any, error) {
+			lo, _ := m.chunkBounds(ci)
+			return mapFn(ci, lo, c)
+		},
+		commit)
+}
+
+// ForEach streams every chunk through fn in row order (the ore.rowapply
+// analogue). The next chunk is prefetched from disk while fn runs on the
+// current one, but fn itself is never called concurrently.
+func (m *Matrix) ForEach(fn func(lo int, chunk *la.Dense) error) error {
+	return m.ForEachExec(Exec{Workers: 1, Prefetch: 2}, fn)
+}
+
+// ForEachExec streams every chunk through fn under the given execution.
+// With ex.Workers > 1, fn is called concurrently from multiple goroutines
+// and chunk order is unspecified; fn must be safe for concurrent use.
+// Use MapChunks when per-chunk results must be combined in chunk order.
+func (m *Matrix) ForEachExec(ex Exec, fn func(lo int, chunk *la.Dense) error) error {
+	return m.pipeline(ex, func(ci, lo int, c *la.Dense) (any, error) {
+		return nil, fn(lo, c)
+	}, nil)
+}
+
+// MapChunks streams every chunk through mapFn on ex.Workers goroutines and
+// hands the results to commit strictly in chunk order on the calling
+// goroutine. Reductions accumulated in commit are therefore bit-identical
+// to a serial pass, independent of worker scheduling. mapFn receives the
+// chunk index and the first-row offset.
+func (m *Matrix) MapChunks(ex Exec, mapFn func(ci, lo int, c *la.Dense) (any, error), commit func(ci int, v any) error) error {
+	return m.pipeline(ex, mapFn, commit)
+}
+
+// MapChunksToMatrix streams every chunk through f and spills the per-chunk
+// results (which must all have outCols columns and preserve the row count)
+// as a new chunked matrix. Chunks are computed and written concurrently
+// under ex; output chunk files keep the input's chunk order. On failure
+// every output chunk written so far is removed and no matrix is
+// registered.
+func (m *Matrix) MapChunksToMatrix(ex Exec, outCols int, f func(ci, lo int, c *la.Dense) (*la.Dense, error)) (*Matrix, error) {
+	if m.freed {
+		return nil, ErrFreed
+	}
+	paths, err := m.store.alloc(len(m.paths))
+	if err != nil {
+		return nil, err
+	}
+	err = m.pipeline(ex, func(ci, lo int, c *la.Dense) (any, error) {
+		out, err := f(ci, lo, c)
+		if err != nil {
+			return nil, err
+		}
+		if out.Rows() != c.Rows() || out.Cols() != outCols {
+			return nil, fmt.Errorf("chunk: mapped chunk is %dx%d, want %dx%d", out.Rows(), out.Cols(), c.Rows(), outCols)
+		}
+		return nil, writeChunk(paths[ci], out)
+	}, nil)
+	if err != nil {
+		m.store.release(paths)
+		return nil, err
+	}
+	return &Matrix{store: m.store, rows: m.rows, cols: outCols, chunkRows: m.chunkRows, paths: paths}, nil
 }
 
 // Dense loads the whole matrix into memory (tests and small data only).
 func (m *Matrix) Dense() (*la.Dense, error) {
 	out := la.NewDense(m.rows, m.cols)
 	err := m.ForEach(func(lo int, c *la.Dense) error {
-		for i := 0; i < c.Rows(); i++ {
-			copy(out.Row(lo+i), c.Row(i))
-		}
+		copy(out.Data()[lo*m.cols:], c.Data())
 		return nil
 	})
 	if err != nil {
@@ -176,32 +377,34 @@ func (m *Matrix) Dense() (*la.Dense, error) {
 	return out, nil
 }
 
-// Mul computes m·x, producing a new chunked matrix with one streaming pass.
-func (m *Matrix) Mul(x *la.Dense) (*Matrix, error) {
+// Mul computes m·x, producing a new chunked matrix with one parallel
+// streaming pass.
+func (m *Matrix) Mul(x *la.Dense) (*Matrix, error) { return m.MulExec(Parallel(), x) }
+
+// MulExec computes m·x under the given execution.
+func (m *Matrix) MulExec(ex Exec, x *la.Dense) (*Matrix, error) {
 	if x.Rows() != m.cols {
 		return nil, fmt.Errorf("chunk: Mul %dx%d · %dx%d", m.rows, m.cols, x.Rows(), x.Cols())
 	}
-	out := &Matrix{store: m.store, rows: m.rows, cols: x.Cols(), chunkRows: m.chunkRows}
-	err := m.ForEach(func(lo int, c *la.Dense) error {
-		path := m.store.newPath()
-		out.paths = append(out.paths, path)
-		return writeChunk(path, la.MatMul(c, x))
+	return m.MapChunksToMatrix(ex, x.Cols(), func(ci, lo int, c *la.Dense) (*la.Dense, error) {
+		return la.MatMul(c, x), nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
-// TMul computes mᵀ·x for an in-memory x with one streaming pass,
+// TMul computes mᵀ·x for an in-memory x with one parallel streaming pass,
 // accumulating the (small) cols×xCols output in memory.
-func (m *Matrix) TMul(x *la.Dense) (*la.Dense, error) {
+func (m *Matrix) TMul(x *la.Dense) (*la.Dense, error) { return m.TMulExec(Parallel(), x) }
+
+// TMulExec computes mᵀ·x under the given execution.
+func (m *Matrix) TMulExec(ex Exec, x *la.Dense) (*la.Dense, error) {
 	if x.Rows() != m.rows {
 		return nil, fmt.Errorf("chunk: TMul %dx%dᵀ · %dx%d", m.rows, m.cols, x.Rows(), x.Cols())
 	}
 	acc := la.NewDense(m.cols, x.Cols())
-	err := m.ForEach(func(lo int, c *la.Dense) error {
-		acc.AddInPlace(la.TMatMul(c, x.SliceRowsDense(lo, lo+c.Rows())))
+	err := m.pipeline(ex, func(ci, lo int, c *la.Dense) (any, error) {
+		return la.TMatMul(c, x.SliceRowsDense(lo, lo+c.Rows())), nil
+	}, func(ci int, v any) error {
+		acc.AddInPlace(v.(*la.Dense))
 		return nil
 	})
 	if err != nil {
@@ -211,10 +414,15 @@ func (m *Matrix) TMul(x *la.Dense) (*la.Dense, error) {
 }
 
 // CrossProd computes mᵀ·m by accumulating per-chunk cross-products.
-func (m *Matrix) CrossProd() (*la.Dense, error) {
+func (m *Matrix) CrossProd() (*la.Dense, error) { return m.CrossProdExec(Parallel()) }
+
+// CrossProdExec computes mᵀ·m under the given execution.
+func (m *Matrix) CrossProdExec(ex Exec) (*la.Dense, error) {
 	acc := la.NewDense(m.cols, m.cols)
-	err := m.ForEach(func(lo int, c *la.Dense) error {
-		acc.AddInPlace(c.CrossProd())
+	err := m.pipeline(ex, func(ci, lo int, c *la.Dense) (any, error) {
+		return c.CrossProd(), nil
+	}, func(ci int, v any) error {
+		acc.AddInPlace(v.(*la.Dense))
 		return nil
 	})
 	if err != nil {
@@ -224,25 +432,26 @@ func (m *Matrix) CrossProd() (*la.Dense, error) {
 }
 
 // Scale computes m·x element-wise into a new chunked matrix.
-func (m *Matrix) Scale(x float64) (*Matrix, error) {
-	out := &Matrix{store: m.store, rows: m.rows, cols: m.cols, chunkRows: m.chunkRows}
-	err := m.ForEach(func(lo int, c *la.Dense) error {
-		path := m.store.newPath()
-		out.paths = append(out.paths, path)
-		return writeChunk(path, c.ScaleDense(x))
+func (m *Matrix) Scale(x float64) (*Matrix, error) { return m.ScaleExec(Parallel(), x) }
+
+// ScaleExec computes m·x element-wise under the given execution.
+func (m *Matrix) ScaleExec(ex Exec, x float64) (*Matrix, error) {
+	return m.MapChunksToMatrix(ex, m.cols, func(ci, lo int, c *la.Dense) (*la.Dense, error) {
+		return c.ScaleDense(x), nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 // ColSums aggregates column sums in one pass.
-func (m *Matrix) ColSums() (*la.Dense, error) {
+func (m *Matrix) ColSums() (*la.Dense, error) { return m.ColSumsExec(Parallel()) }
+
+// ColSumsExec aggregates column sums under the given execution.
+func (m *Matrix) ColSumsExec(ex Exec) (*la.Dense, error) {
 	acc := make([]float64, m.cols)
-	err := m.ForEach(func(lo int, c *la.Dense) error {
-		for j, v := range c.ColSumsVec() {
-			acc[j] += v
+	err := m.pipeline(ex, func(ci, lo int, c *la.Dense) (any, error) {
+		return c.ColSumsVec(), nil
+	}, func(ci int, v any) error {
+		for j, s := range v.([]float64) {
+			acc[j] += s
 		}
 		return nil
 	})
@@ -253,24 +462,25 @@ func (m *Matrix) ColSums() (*la.Dense, error) {
 }
 
 // RowSums computes row sums into a chunked n×1 matrix.
-func (m *Matrix) RowSums() (*Matrix, error) {
-	out := &Matrix{store: m.store, rows: m.rows, cols: 1, chunkRows: m.chunkRows}
-	err := m.ForEach(func(lo int, c *la.Dense) error {
-		path := m.store.newPath()
-		out.paths = append(out.paths, path)
-		return writeChunk(path, c.RowSums())
+func (m *Matrix) RowSums() (*Matrix, error) { return m.RowSumsExec(Parallel()) }
+
+// RowSumsExec computes row sums under the given execution.
+func (m *Matrix) RowSumsExec(ex Exec) (*Matrix, error) {
+	return m.MapChunksToMatrix(ex, 1, func(ci, lo int, c *la.Dense) (*la.Dense, error) {
+		return c.RowSums(), nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 // Sum aggregates the grand total in one pass.
-func (m *Matrix) Sum() (float64, error) {
+func (m *Matrix) Sum() (float64, error) { return m.SumExec(Parallel()) }
+
+// SumExec aggregates the grand total under the given execution.
+func (m *Matrix) SumExec(ex Exec) (float64, error) {
 	total := 0.0
-	err := m.ForEach(func(lo int, c *la.Dense) error {
-		total += c.SumAll()
+	err := m.pipeline(ex, func(ci, lo int, c *la.Dense) (any, error) {
+		return c.SumAll(), nil
+	}, func(ci int, v any) error {
+		total += v.(float64)
 		return nil
 	})
 	return total, err

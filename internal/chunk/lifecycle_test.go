@@ -1,0 +1,236 @@
+package chunk
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/la"
+)
+
+func chunkFileCount(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "chunk-") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFreeRemovesIntermediateChunks: a pipeline's intermediate can be
+// freed as soon as it is consumed, shrinking the on-disk footprint.
+func TestFreeRemovesIntermediateChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FromDense(s, randDense(rng, 40, 4), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := chunkFileCount(t, dir)
+	inter, err := m.Mul(randDense(rng, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chunkFileCount(t, dir); got != base+inter.NumChunks() {
+		t.Fatalf("after Mul: %d files, want %d", got, base+inter.NumChunks())
+	}
+	final, err := inter.RowSums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inter.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inter.Free(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if got := chunkFileCount(t, dir); got != base+final.NumChunks() {
+		t.Fatalf("after Free: %d files, want %d", got, base+final.NumChunks())
+	}
+	// The freed matrix refuses further streaming.
+	if _, err := inter.Sum(); !errors.Is(err, ErrFreed) {
+		t.Fatalf("Sum on freed matrix: %v, want ErrFreed", err)
+	}
+	if _, err := inter.Mul(randDense(rng, 4, 1)); !errors.Is(err, ErrFreed) {
+		t.Fatalf("Mul on freed matrix: %v, want ErrFreed", err)
+	}
+	// The surviving result is still readable.
+	if _, err := final.Dense(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetainSharesChunkFiles: files survive until the last handle is
+// freed.
+func TestRetainSharesChunkFiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FromDense(s, randDense(rng, 20, 3), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.Retain()
+	if err := m.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if got := chunkFileCount(t, dir); got != h.NumChunks() {
+		t.Fatalf("after freeing one handle: %d files, want %d", got, h.NumChunks())
+	}
+	if _, err := h.Sum(); err != nil {
+		t.Fatalf("retained handle unusable: %v", err)
+	}
+	if err := h.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if got := chunkFileCount(t, dir); got != 0 {
+		t.Fatalf("after freeing both handles: %d files, want 0", got)
+	}
+}
+
+// TestRetainAfterFreeIsFreed: retaining a freed matrix must yield a
+// handle that reports ErrFreed, not a dangling handle over deleted files.
+func TestRetainAfterFreeIsFreed(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	s := testStore(t)
+	m, err := FromDense(s, randDense(rng, 16, 2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(); err != nil {
+		t.Fatal(err)
+	}
+	h := m.Retain()
+	if _, err := h.Sum(); !errors.Is(err, ErrFreed) {
+		t.Fatalf("Sum on retain-after-free handle: %v, want ErrFreed", err)
+	}
+	if err := h.Free(); err != nil { // no double release
+		t.Fatal(err)
+	}
+	if s.LiveChunks() != 0 {
+		t.Fatalf("store tracks %d chunks", s.LiveChunks())
+	}
+}
+
+// TestStoreCloseRemovesEverything: Close deletes all remaining spill
+// files and blocks new allocations.
+func TestStoreCloseRemovesEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FromDense(s, randDense(rng, 50, 5), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Scale(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.LiveChunks() == 0 {
+		t.Fatal("store tracks no chunks before Close")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := chunkFileCount(t, dir); got != 0 {
+		t.Fatalf("after Close: %d chunk files left", got)
+	}
+	if s.LiveChunks() != 0 {
+		t.Fatal("store still tracks chunks after Close")
+	}
+	if _, err := FromDense(s, randDense(rng, 8, 2), 4); !errors.Is(err, ErrClosed) {
+		t.Fatalf("FromDense on closed store: %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineLeavesNoDeadChunks drives a multi-step pipeline the way the
+// experiments do — build, transform, reduce, free — and checks the store
+// directory holds only the inputs afterwards (the ISSUE acceptance
+// criterion: no chunk files left after a pipeline completes).
+func TestPipelineLeavesNoDeadChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FromDense(s, randDense(rng, 60, 6), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := chunkFileCount(t, dir)
+
+	scaled, err := m.Scale(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := scaled.Mul(randDense(rng, 6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prod.ColSums(); err != nil {
+		t.Fatal(err)
+	}
+	if err := scaled.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if err := prod.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if got := chunkFileCount(t, dir); got != base {
+		t.Fatalf("pipeline left %d files, want the %d inputs", got, base)
+	}
+	if err := m.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if got := chunkFileCount(t, dir); got != 0 {
+		t.Fatalf("%d files left after freeing everything", got)
+	}
+}
+
+// TestBuildCleansUpOnGenFailure: Build removes already-written chunks
+// when a later write fails (here: the store directory vanishes
+// mid-build).
+func TestBuildCleansUpOnWriteFailure(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "gone")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewStore(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Build(s2, 40, 2, 8, func(lo, hi int, dst *la.Dense) {
+		if lo >= 16 {
+			os.RemoveAll(sub) // make the next writeChunk fail
+		}
+	})
+	if err == nil {
+		t.Fatal("Build succeeded with a vanished store directory")
+	}
+	if s2.LiveChunks() != 0 {
+		t.Fatalf("failed Build left %d chunks registered", s2.LiveChunks())
+	}
+}

@@ -27,6 +27,29 @@ func BuildIntVector(store *Store, keys []int32, chunkRows int) (*IntVector, erro
 	return &IntVector{m: m}, nil
 }
 
+// Rows reports the number of keys.
+func (v *IntVector) Rows() int { return v.m.rows }
+
+// Keys reads chunk ci and returns its first-row offset plus the decoded
+// keys. It is safe to call concurrently (each call reads its own chunk),
+// which lets parallel pipelines over an aligned Matrix fetch the matching
+// key chunk from inside their workers.
+func (v *IntVector) Keys(ci int) (lo int, keys []int32, err error) {
+	lo, hi := v.m.chunkBounds(ci)
+	c, err := readChunk(v.m.paths[ci], hi-lo, 1)
+	if err != nil {
+		return 0, nil, err
+	}
+	keys = make([]int32, hi-lo)
+	for i, f := range c.Data() {
+		keys[i] = int32(f)
+	}
+	return lo, keys, nil
+}
+
+// Free releases the vector's chunk files.
+func (v *IntVector) Free() error { return v.m.Free() }
+
 // NormalizedTable is the out-of-core normalized matrix for a single PK-FK
 // join at ORE scale: the entity table S and its foreign-key column live in
 // chunked storage, the (much smaller) attribute table R stays in memory.
@@ -49,6 +72,21 @@ func NewNormalizedTable(s *Matrix, fk *IntVector, r *la.Dense) (*NormalizedTable
 	return &NormalizedTable{S: s, FK: fk, R: r}, nil
 }
 
+// Rows reports the join output row count (= nS for a PK-FK join).
+func (nt *NormalizedTable) Rows() int { return nt.S.rows }
+
+// Cols reports the logical column count dS+dR of the joined table.
+func (nt *NormalizedTable) Cols() int { return nt.S.cols + nt.R.Cols() }
+
+// Free releases the on-disk base table and key column.
+func (nt *NormalizedTable) Free() error {
+	err := nt.S.Free()
+	if e := nt.FK.Free(); err == nil {
+		err = e
+	}
+	return err
+}
+
 // LogRegResult reports the fitted weights and observed I/O volume, the
 // quantity that separates M from F at ORE scale.
 type LogRegResult struct {
@@ -57,9 +95,24 @@ type LogRegResult struct {
 }
 
 // LogRegMaterialized runs the standard logistic regression (Algorithm 3)
-// over the chunked materialized table T, streaming all nS·(dS+dR) cells
-// from disk every iteration — the ORE baseline of Table 9.
+// over the chunked materialized table T with the parallel engine,
+// streaming all nS·(dS+dR) cells from disk every iteration — the ORE
+// baseline of Table 9.
 func LogRegMaterialized(t *Matrix, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
+	return LogRegMaterializedExec(Parallel(), t, y, iters, alpha)
+}
+
+// matPart is one chunk's contribution to a materialized-GLM iteration.
+type matPart struct {
+	grad  *la.Dense
+	bytes int64
+}
+
+// LogRegMaterializedExec runs the materialized chunked logistic regression
+// under the given execution. Per-chunk gradients are computed on the
+// workers and accumulated in chunk order, so results are identical for
+// every Exec.
+func LogRegMaterializedExec(ex Exec, t *Matrix, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
 	if y.Rows() != t.rows || y.Cols() != 1 {
 		return nil, fmt.Errorf("chunk: labels are %dx%d, want %dx1", y.Rows(), y.Cols(), t.rows)
 	}
@@ -71,14 +124,17 @@ func LogRegMaterialized(t *Matrix, y *la.Dense, iters int, alpha float64) (*LogR
 	var bytesRead int64
 	for it := 0; it < iters; it++ {
 		grad := la.NewDense(d, 1)
-		err := t.ForEach(func(lo int, c *la.Dense) error {
-			bytesRead += int64(c.Rows()) * int64(c.Cols()) * 8
+		err := t.pipeline(ex, func(ci, lo int, c *la.Dense) (any, error) {
 			tw := la.MatMul(c, w)
 			p := la.NewDense(c.Rows(), 1)
 			for i := 0; i < c.Rows(); i++ {
 				p.Set(i, 0, y.At(lo+i, 0)/(1+math.Exp(tw.At(i, 0))))
 			}
-			grad.AddInPlace(la.TMatMul(c, p))
+			return matPart{grad: la.TMatMul(c, p), bytes: int64(c.Rows()) * int64(c.Cols()) * 8}, nil
+		}, func(ci int, v any) error {
+			pt := v.(matPart)
+			grad.AddInPlace(pt.grad)
+			bytesRead += pt.bytes
 			return nil
 		})
 		if err != nil {
@@ -90,10 +146,29 @@ func LogRegMaterialized(t *Matrix, y *la.Dense, iters int, alpha float64) (*LogR
 }
 
 // LogRegFactorized runs the factorized logistic regression (Algorithm 4)
-// over the out-of-core normalized table: per iteration it reads only the
-// base table S (plus the key column) from disk and computes the R-side
-// partial products in memory — the Morpheus-on-ORE configuration.
+// over the out-of-core normalized table with the parallel engine: per
+// iteration it reads only the base table S (plus the key column) from disk
+// and computes the R-side partial products in memory — the
+// Morpheus-on-ORE configuration.
 func LogRegFactorized(nt *NormalizedTable, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
+	return LogRegFactorizedExec(Parallel(), nt, y, iters, alpha)
+}
+
+// factPart is one chunk's contribution to a factorized-GLM iteration: the
+// S-side partial gradient plus the per-row coefficients and keys needed
+// for the (serial, ordered) R-side scatter.
+type factPart struct {
+	gradS *la.Dense
+	keys  []int32
+	coef  []float64
+	bytes int64
+}
+
+// LogRegFactorizedExec runs the factorized chunked logistic regression
+// under the given execution. Workers compute the S-side products; the
+// R-side scatter-adds run in chunk order on the committer, keeping results
+// identical for every Exec.
+func LogRegFactorizedExec(ex Exec, nt *NormalizedTable, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
 	nS, dS := nt.S.rows, nt.S.cols
 	dR := nt.R.Cols()
 	if y.Rows() != nS || y.Cols() != 1 {
@@ -110,25 +185,30 @@ func LogRegFactorized(nt *NormalizedTable, y *la.Dense, iters int, alpha float64
 		rw := la.MatMul(nt.R, wR) // partial inner products, in memory
 		gradS := la.NewDense(dS, 1)
 		scatter := make([]float64, nt.R.Rows())
-		ci := 0
-		err := nt.S.ForEach(func(lo int, c *la.Dense) error {
-			bytesRead += int64(c.Rows())*int64(c.Cols())*8 + int64(c.Rows())*8
-			loK, hiK := nt.FK.m.chunkBounds(ci)
-			keys, err := readChunk(nt.FK.m.paths[ci], hiK-loK, 1)
+		err := nt.S.pipeline(ex, func(ci, lo int, c *la.Dense) (any, error) {
+			_, keys, err := nt.FK.Keys(ci)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			ci++
 			sw := la.MatMul(c, wS)
-			p := la.NewDense(c.Rows(), 1)
-			for i := 0; i < c.Rows(); i++ {
-				rid := int(keys.At(i, 0))
-				inner := sw.At(i, 0) + rw.At(rid, 0)
-				v := y.At(lo+i, 0) / (1 + math.Exp(inner))
-				p.Set(i, 0, v)
-				scatter[rid] += v
+			coef := make([]float64, c.Rows())
+			for i := range coef {
+				inner := sw.At(i, 0) + rw.At(int(keys[i]), 0)
+				coef[i] = y.At(lo+i, 0) / (1 + math.Exp(inner))
 			}
-			gradS.AddInPlace(la.TMatMul(c, p))
+			return factPart{
+				gradS: la.TMatMul(c, la.ColVector(coef)),
+				keys:  keys,
+				coef:  coef,
+				bytes: int64(c.Rows())*int64(c.Cols())*8 + int64(c.Rows())*8,
+			}, nil
+		}, func(ci int, v any) error {
+			pt := v.(factPart)
+			gradS.AddInPlace(pt.gradS)
+			for i, rid := range pt.keys {
+				scatter[rid] += pt.coef[i]
+			}
+			bytesRead += pt.bytes
 			return nil
 		})
 		if err != nil {

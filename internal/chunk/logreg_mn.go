@@ -33,14 +33,70 @@ func NewMNTable(s, r *Matrix, is, ir *IntVector) (*MNTable, error) {
 // OutputRows reports |T'|, the join output cardinality.
 func (t *MNTable) OutputRows() int { return t.IS.m.rows }
 
+// Free releases every on-disk component of the table.
+func (t *MNTable) Free() error {
+	err := t.S.Free()
+	for _, e := range []error{t.R.Free(), t.IS.Free(), t.IR.Free()} {
+		if err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// partialProducts streams base table b and writes b·w into the
+// pre-allocated dst vector (disjoint row ranges, so workers write
+// directly); bytes read are tallied on the committer.
+func partialProducts(ex Exec, b *Matrix, w *la.Dense, dst []float64, bytesRead *int64) error {
+	return b.pipeline(ex, func(ci, lo int, c *la.Dense) (any, error) {
+		p := la.MatMul(c, w)
+		copy(dst[lo:lo+c.Rows()], p.Data())
+		return int64(c.Rows()) * int64(c.Cols()) * 8, nil
+	}, func(ci int, v any) error {
+		*bytesRead += v.(int64)
+		return nil
+	})
+}
+
+// gradPass streams base table b and accumulates bᵀ·coef chunk-by-chunk in
+// order.
+func gradPass(ex Exec, b *Matrix, coef []float64, grad *la.Dense, bytesRead *int64) error {
+	return b.pipeline(ex, func(ci, lo int, c *la.Dense) (any, error) {
+		return matPart{
+			grad:  la.TMatMul(c, la.ColVector(coef[lo:lo+c.Rows()])),
+			bytes: int64(c.Rows()) * int64(c.Cols()) * 8,
+		}, nil
+	}, func(ci int, v any) error {
+		pt := v.(matPart)
+		grad.AddInPlace(pt.grad)
+		*bytesRead += pt.bytes
+		return nil
+	})
+}
+
+// mnSelPart is one selector chunk's contribution: the per-output-tuple
+// coefficients plus both key columns for the ordered scatter.
+type mnSelPart struct {
+	is, ir []int32
+	coef   []float64
+	bytes  int64
+}
+
 // LogRegFactorizedMN runs factorized logistic regression over the
-// out-of-core M:N join. Per iteration it makes one pass over S and R to
-// compute the partial inner products (nS- and nR-length vectors held in
-// memory), one pass over the selector columns to form the per-output-tuple
-// coefficients, and one more pass over S and R for the gradients — total
-// I/O proportional to the base tables plus two key columns, never to
-// |T'|·(dS+dR).
+// out-of-core M:N join with the parallel engine. Per iteration it makes
+// one pass over S and R to compute the partial inner products (nS- and
+// nR-length vectors held in memory), one pass over the selector columns to
+// form the per-output-tuple coefficients, and one more pass over S and R
+// for the gradients — total I/O proportional to the base tables plus two
+// key columns, never to |T'|·(dS+dR).
 func LogRegFactorizedMN(t *MNTable, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
+	return LogRegFactorizedMNExec(Parallel(), t, y, iters, alpha)
+}
+
+// LogRegFactorizedMNExec runs the M:N factorized chunked logistic
+// regression under the given execution; scatter-adds commit in chunk
+// order, so results are identical for every Exec.
+func LogRegFactorizedMNExec(ex Exec, t *MNTable, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
 	n := t.OutputRows()
 	if y.Rows() != n || y.Cols() != 1 {
 		return nil, fmt.Errorf("chunk: labels are %dx%d, want %dx1", y.Rows(), y.Cols(), n)
@@ -51,50 +107,47 @@ func LogRegFactorizedMN(t *MNTable, y *la.Dense, iters int, alpha float64) (*Log
 	dS, dR := t.S.cols, t.R.cols
 	w := la.NewDense(dS+dR, 1)
 	var bytesRead int64
-	track := func(c *la.Dense) { bytesRead += int64(c.Rows()) * int64(c.Cols()) * 8 }
 	for it := 0; it < iters; it++ {
 		wS := la.NewDenseData(dS, 1, w.Data()[:dS])
 		wR := la.NewDenseData(dR, 1, w.Data()[dS:])
 		// Pass 1: partial inner products for every base tuple.
 		sw := make([]float64, t.S.rows)
-		if err := t.S.ForEach(func(lo int, c *la.Dense) error {
-			track(c)
-			p := la.MatMul(c, wS)
-			copy(sw[lo:lo+c.Rows()], p.Data())
-			return nil
-		}); err != nil {
+		if err := partialProducts(ex, t.S, wS, sw, &bytesRead); err != nil {
 			return nil, err
 		}
 		rw := make([]float64, t.R.rows)
-		if err := t.R.ForEach(func(lo int, c *la.Dense) error {
-			track(c)
-			p := la.MatMul(c, wR)
-			copy(rw[lo:lo+c.Rows()], p.Data())
-			return nil
-		}); err != nil {
+		if err := partialProducts(ex, t.R, wR, rw, &bytesRead); err != nil {
 			return nil, err
 		}
 		// Pass 2: stream the selectors, scatter coefficients per base row.
 		cs := make([]float64, t.S.rows)
 		cr := make([]float64, t.R.rows)
-		ci := 0
-		err := t.IS.m.ForEach(func(lo int, isChunk *la.Dense) error {
-			track(isChunk)
-			loK, hiK := t.IR.m.chunkBounds(ci)
-			irChunk, err := readChunk(t.IR.m.paths[ci], hiK-loK, 1)
+		err := t.IS.m.pipeline(ex, func(ci, lo int, isChunk *la.Dense) (any, error) {
+			_, irKeys, err := t.IR.Keys(ci)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			track(irChunk)
-			ci++
+			isKeys := make([]int32, isChunk.Rows())
+			coef := make([]float64, isChunk.Rows())
 			for i := 0; i < isChunk.Rows(); i++ {
-				si := int(isChunk.At(i, 0))
-				ri := int(irChunk.At(i, 0))
-				inner := sw[si] + rw[ri]
-				v := y.At(lo+i, 0) / (1 + math.Exp(inner))
-				cs[si] += v
-				cr[ri] += v
+				si := int32(isChunk.At(i, 0))
+				inner := sw[si] + rw[irKeys[i]]
+				isKeys[i] = si
+				coef[i] = y.At(lo+i, 0) / (1 + math.Exp(inner))
 			}
+			return mnSelPart{
+				is:    isKeys,
+				ir:    irKeys,
+				coef:  coef,
+				bytes: 2 * int64(isChunk.Rows()) * 8,
+			}, nil
+		}, func(ci int, v any) error {
+			pt := v.(mnSelPart)
+			for i, v := range pt.coef {
+				cs[pt.is[i]] += v
+				cr[pt.ir[i]] += v
+			}
+			bytesRead += pt.bytes
 			return nil
 		})
 		if err != nil {
@@ -102,19 +155,11 @@ func LogRegFactorizedMN(t *MNTable, y *la.Dense, iters int, alpha float64) (*Log
 		}
 		// Pass 3: gradients gradS = Sᵀ·cs, gradR = Rᵀ·cr.
 		gradS := la.NewDense(dS, 1)
-		if err := t.S.ForEach(func(lo int, c *la.Dense) error {
-			track(c)
-			gradS.AddInPlace(la.TMatMul(c, la.ColVector(cs[lo:lo+c.Rows()])))
-			return nil
-		}); err != nil {
+		if err := gradPass(ex, t.S, cs, gradS, &bytesRead); err != nil {
 			return nil, err
 		}
 		gradR := la.NewDense(dR, 1)
-		if err := t.R.ForEach(func(lo int, c *la.Dense) error {
-			track(c)
-			gradR.AddInPlace(la.TMatMul(c, la.ColVector(cr[lo:lo+c.Rows()])))
-			return nil
-		}); err != nil {
+		if err := gradPass(ex, t.R, cr, gradR, &bytesRead); err != nil {
 			return nil, err
 		}
 		for j := 0; j < dS; j++ {
@@ -129,7 +174,9 @@ func LogRegFactorizedMN(t *MNTable, y *la.Dense, iters int, alpha float64) (*Log
 
 // MaterializeMN spills the joined table [IS·S, IR·R] to chunked storage —
 // the baseline input for Table 10. It streams selector chunks and gathers
-// base rows, so building it costs the full |T'|·(dS+dR) write.
+// base rows, so building it costs the full |T'|·(dS+dR) write. Chunks are
+// gathered and written in parallel; a mid-stream failure removes every
+// chunk written so far.
 func MaterializeMN(store *Store, t *MNTable) (*Matrix, error) {
 	sD, err := t.S.Dense()
 	if err != nil {
@@ -140,27 +187,25 @@ func MaterializeMN(store *Store, t *MNTable) (*Matrix, error) {
 		return nil, err
 	}
 	dS, dR := sD.Cols(), rD.Cols()
-	n := t.OutputRows()
-	out := &Matrix{store: store, rows: n, cols: dS + dR, chunkRows: t.IS.m.chunkRows}
-	ci := 0
-	err = t.IS.m.ForEach(func(lo int, isChunk *la.Dense) error {
-		loK, hiK := t.IR.m.chunkBounds(ci)
-		irChunk, err := readChunk(t.IR.m.paths[ci], hiK-loK, 1)
-		if err != nil {
-			return err
-		}
-		ci++
-		buf := la.NewDense(isChunk.Rows(), dS+dR)
-		for i := 0; i < isChunk.Rows(); i++ {
-			copy(buf.Row(i)[:dS], sD.Row(int(isChunk.At(i, 0))))
-			copy(buf.Row(i)[dS:], rD.Row(int(irChunk.At(i, 0))))
-		}
-		path := store.newPath()
-		out.paths = append(out.paths, path)
-		return writeChunk(path, buf)
-	})
+	paths, err := store.alloc(t.IS.m.NumChunks())
 	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	err = t.IS.m.pipeline(Parallel(), func(ci, lo int, isChunk *la.Dense) (any, error) {
+		_, irKeys, err := t.IR.Keys(ci)
+		if err != nil {
+			return nil, err
+		}
+		buf := la.NewDense(isChunk.Rows(), dS+dR)
+		for i := 0; i < isChunk.Rows(); i++ {
+			copy(buf.Row(i)[:dS], sD.Row(int(isChunk.At(i, 0))))
+			copy(buf.Row(i)[dS:], rD.Row(int(irKeys[i])))
+		}
+		return nil, writeChunk(paths[ci], buf)
+	}, nil)
+	if err != nil {
+		store.release(paths)
+		return nil, err
+	}
+	return &Matrix{store: store, rows: t.OutputRows(), cols: dS + dR, chunkRows: t.IS.m.chunkRows, paths: paths}, nil
 }

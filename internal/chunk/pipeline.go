@@ -1,0 +1,209 @@
+package chunk
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Exec configures how a streaming pass executes. The zero value is
+// normalized to the full parallel configuration; use Serial for the
+// strictly sequential read-compute-read loop (the pre-parallel engine,
+// kept as the baseline the benchmarks compare against).
+type Exec struct {
+	// Workers is the number of goroutines computing over chunks
+	// concurrently (<=0 means GOMAXPROCS).
+	Workers int
+	// Prefetch bounds how many decoded chunks the background reader may
+	// buffer ahead of the compute workers (<0 means 0). Workers=1 with
+	// Prefetch=1 is the classic double-buffered pipeline: the next chunk
+	// is read while the current one is computed.
+	Prefetch int
+}
+
+// Serial is the strictly sequential execution: one chunk is read,
+// computed, and committed before the next is touched.
+var Serial = Exec{Workers: 1, Prefetch: 0}
+
+// Parallel returns the default parallel execution: GOMAXPROCS compute
+// workers fed by a prefetching reader that keeps up to 2×Workers decoded
+// chunks in flight, so I/O and compute overlap and independent chunks
+// proceed concurrently.
+func Parallel() Exec {
+	w := runtime.GOMAXPROCS(0)
+	return Exec{Workers: w, Prefetch: 2 * w}
+}
+
+func (ex Exec) normalized() Exec {
+	if ex.Workers <= 0 {
+		ex.Workers = runtime.GOMAXPROCS(0)
+	}
+	if ex.Prefetch < 0 {
+		ex.Prefetch = 0
+	}
+	return ex
+}
+
+// pipeRes is one mapped chunk result traveling from a worker to the
+// ordered committer.
+type pipeRes struct {
+	ci  int
+	v   any
+	err error
+}
+
+// loaded is one decoded chunk traveling from the reader to a worker.
+type loaded[T any] struct {
+	ci  int
+	c   T
+	err error
+}
+
+// runPipeline streams chunks [0,n) through mapFn and commits the results
+// strictly in chunk order:
+//
+//	reader ──bounded chan──▶ workers ──chan──▶ ordered commit
+//
+// read(ci) decodes chunk ci from disk; it runs on a single background
+// reader goroutine so disk access stays sequential. mapFn runs on
+// ex.Workers goroutines and must not touch shared state. commit runs on
+// the calling goroutine, in ascending ci order regardless of which worker
+// finishes first — reductions committed this way are bit-identical to the
+// serial pass. The first error cancels the pipeline and is returned.
+func runPipeline[T any](n int, ex Exec,
+	read func(ci int) (T, error),
+	mapFn func(ci int, c T) (any, error),
+	commit func(ci int, v any) error) error {
+	if n == 0 {
+		return nil
+	}
+	ex = ex.normalized()
+	if ex.Workers == 1 && ex.Prefetch == 0 {
+		// Strictly serial reference path.
+		for ci := 0; ci < n; ci++ {
+			c, err := read(ci)
+			if err != nil {
+				return err
+			}
+			v, err := mapFn(ci, c)
+			if err != nil {
+				return err
+			}
+			if commit != nil {
+				if err := commit(ci, v); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	done := make(chan struct{})
+	var cancelOnce sync.Once
+	cancel := func() { cancelOnce.Do(func() { close(done) }) }
+	defer cancel()
+
+	// Admission tickets bound the chunks in flight between read and
+	// ordered commit. Without them a single straggler chunk would let
+	// the committer park every later result in `pending` with no
+	// backpressure — unbounded memory in exactly the larger-than-RAM
+	// regime this engine exists for. The ticket is acquired before the
+	// read and released after the commit, so decoded-chunk residency is
+	// capped at Workers+Prefetch+1 regardless of worker skew. Releasing
+	// at commit (in ci order) cannot deadlock: the straggler holds a
+	// ticket, so its result always has room to reach the committer.
+	inflight := ex.Workers + ex.Prefetch + 1
+	tickets := make(chan struct{}, inflight)
+
+	feed := make(chan loaded[T], ex.Prefetch)
+	go func() {
+		defer close(feed)
+		for ci := 0; ci < n; ci++ {
+			select {
+			case tickets <- struct{}{}:
+			case <-done:
+				return
+			}
+			c, err := read(ci)
+			select {
+			case feed <- loaded[T]{ci: ci, c: c, err: err}:
+				if err != nil {
+					return
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	workers := ex.Workers
+	if workers > n {
+		workers = n
+	}
+	results := make(chan pipeRes, inflight)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for lc := range feed {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if lc.err != nil {
+					select {
+					case results <- pipeRes{ci: lc.ci, err: lc.err}:
+					case <-done:
+					}
+					return
+				}
+				v, err := mapFn(lc.ci, lc.c)
+				select {
+				case results <- pipeRes{ci: lc.ci, v: v, err: err}:
+				case <-done:
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	pending := make(map[int]any, workers)
+	next := 0
+	var firstErr error
+	for r := range results {
+		if firstErr != nil {
+			continue // drain so the workers can exit
+		}
+		if r.err != nil {
+			firstErr = r.err
+			cancel()
+			continue
+		}
+		pending[r.ci] = r.v
+		for {
+			v, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if commit != nil {
+				if err := commit(next, v); err != nil {
+					firstErr = err
+					cancel()
+					break
+				}
+			}
+			<-tickets // chunk fully retired; admit the next read
+			next++
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,339 @@
+package chunk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/la"
+)
+
+// SparseMatrix is a CSR matrix partitioned into fixed-height row chunks,
+// each persisted as its own little-endian CSR file. It brings the sparse
+// real-data shapes of Table 6 (one-hot feature matrices with d in the tens
+// of thousands) to the out-of-core engine: per-chunk I/O is proportional
+// to the chunk's non-zeros, not rows×cols.
+//
+// Chunk file layout: three int64 header words (rows, cols, nnz), then
+// rows+1 int64 row pointers, nnz int32 column indices, nnz float64 values.
+type SparseMatrix struct {
+	store      *Store
+	rows, cols int
+	chunkRows  int
+	paths      []string
+	nnz        int64
+	freed      bool
+}
+
+// Rows reports the number of rows.
+func (m *SparseMatrix) Rows() int { return m.rows }
+
+// Cols reports the number of columns.
+func (m *SparseMatrix) Cols() int { return m.cols }
+
+// NNZ reports the total stored non-zeros.
+func (m *SparseMatrix) NNZ() int64 { return m.nnz }
+
+// NumChunks reports the chunk count.
+func (m *SparseMatrix) NumChunks() int { return len(m.paths) }
+
+// BytesOnDisk reports the storage footprint of all chunk files.
+func (m *SparseMatrix) BytesOnDisk() int64 {
+	// Per chunk: 3 header words + rows+1 pointers; per nnz: 4+8 bytes.
+	var b int64
+	for ci := range m.paths {
+		lo, hi := m.chunkBounds(ci)
+		b += 8 * int64(3+hi-lo+1)
+	}
+	return b + m.nnz*12
+}
+
+// Free releases the matrix's chunk files.
+func (m *SparseMatrix) Free() error {
+	if m == nil || m.freed {
+		return nil
+	}
+	m.freed = true
+	return m.store.release(m.paths)
+}
+
+func (m *SparseMatrix) chunkBounds(i int) (lo, hi int) {
+	lo = i * m.chunkRows
+	hi = lo + m.chunkRows
+	if hi > m.rows {
+		hi = m.rows
+	}
+	return lo, hi
+}
+
+// FromCSR partitions c into chunks of chunkRows rows and spills them. On
+// failure every chunk written so far is removed.
+func FromCSR(store *Store, c *la.CSR, chunkRows int) (*SparseMatrix, error) {
+	if chunkRows <= 0 {
+		return nil, fmt.Errorf("chunk: chunkRows must be positive, got %d", chunkRows)
+	}
+	paths, err := store.alloc(numChunks(c.Rows(), chunkRows))
+	if err != nil {
+		return nil, err
+	}
+	m := &SparseMatrix{store: store, rows: c.Rows(), cols: c.Cols(), chunkRows: chunkRows, paths: paths, nnz: int64(c.NNZ())}
+	for ci := range paths {
+		lo, hi := m.chunkBounds(ci)
+		part, ok := c.SliceRows(lo, hi).(*la.CSR)
+		if !ok {
+			store.release(paths)
+			return nil, fmt.Errorf("chunk: CSR SliceRows returned %T", c.SliceRows(lo, hi))
+		}
+		if err := writeSparseChunk(paths[ci], part); err != nil {
+			store.release(paths)
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// writeSparseChunk encodes c with batched buffered writes (one Write per
+// array section, not per element).
+func writeSparseChunk(path string, c *la.CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("chunk: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	fail := func(err error) error {
+		f.Close()
+		return fmt.Errorf("chunk: %w", err)
+	}
+	nnz := c.NNZ()
+	head := make([]byte, 8*3)
+	binary.LittleEndian.PutUint64(head[0:], uint64(c.Rows()))
+	binary.LittleEndian.PutUint64(head[8:], uint64(c.Cols()))
+	binary.LittleEndian.PutUint64(head[16:], uint64(nnz))
+	if _, err := w.Write(head); err != nil {
+		return fail(err)
+	}
+	buf := make([]byte, 8*(c.Rows()+1))
+	off := 0
+	binary.LittleEndian.PutUint64(buf, 0)
+	for i := 0; i < c.Rows(); i++ {
+		idx, _ := c.RowNNZ(i)
+		off += len(idx)
+		binary.LittleEndian.PutUint64(buf[8*(i+1):], uint64(off))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fail(err)
+	}
+	ibuf := make([]byte, 0, 4*nnz)
+	vbuf := make([]byte, 0, 8*nnz)
+	for i := 0; i < c.Rows(); i++ {
+		idx, vals := c.RowNNZ(i)
+		for k, j := range idx {
+			ibuf = binary.LittleEndian.AppendUint32(ibuf, uint32(j))
+			vbuf = binary.LittleEndian.AppendUint64(vbuf, math.Float64bits(vals[k]))
+		}
+	}
+	if _, err := w.Write(ibuf); err != nil {
+		return fail(err)
+	}
+	if _, err := w.Write(vbuf); err != nil {
+		return fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("chunk: %w", err)
+	}
+	return nil
+}
+
+// readSparseChunk decodes one CSR chunk, validating shape and invariants
+// (a corrupt file surfaces as an error, never a panic).
+func readSparseChunk(path string, rows, cols int) (c *la.CSR, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("chunk: %w", err)
+	}
+	if len(raw) < 8*3 {
+		return nil, fmt.Errorf("chunk: %s truncated header", path)
+	}
+	gotRows := int(binary.LittleEndian.Uint64(raw[0:]))
+	gotCols := int(binary.LittleEndian.Uint64(raw[8:]))
+	nnz := int(binary.LittleEndian.Uint64(raw[16:]))
+	if gotRows != rows || gotCols != cols || nnz < 0 {
+		return nil, fmt.Errorf("chunk: %s is %dx%d (nnz %d), want %dx%d", path, gotRows, gotCols, nnz, rows, cols)
+	}
+	want := 8*3 + 8*(rows+1) + 4*nnz + 8*nnz
+	if len(raw) != want {
+		return nil, fmt.Errorf("chunk: %s has %d bytes, want %d", path, len(raw), want)
+	}
+	indptr := make([]int, rows+1)
+	p := 8 * 3
+	for i := range indptr {
+		indptr[i] = int(int64(binary.LittleEndian.Uint64(raw[p:])))
+		p += 8
+	}
+	indices := make([]int32, nnz)
+	for i := range indices {
+		indices[i] = int32(binary.LittleEndian.Uint32(raw[p:]))
+		p += 4
+	}
+	vals := make([]float64, nnz)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[p:]))
+		p += 8
+	}
+	// la.NewCSR enforces the structural invariants by panicking; convert a
+	// corrupt chunk into an error instead.
+	defer func() {
+		if r := recover(); r != nil {
+			c, err = nil, fmt.Errorf("chunk: corrupt sparse chunk %s: %v", path, r)
+		}
+	}()
+	return la.NewCSR(rows, cols, indptr, indices, vals), nil
+}
+
+func (m *SparseMatrix) readAt(ci int) (*la.CSR, error) {
+	lo, hi := m.chunkBounds(ci)
+	return readSparseChunk(m.paths[ci], hi-lo, m.cols)
+}
+
+func (m *SparseMatrix) pipeline(ex Exec, mapFn func(ci, lo int, c *la.CSR) (any, error), commit func(ci int, v any) error) error {
+	if m.freed {
+		return ErrFreed
+	}
+	return runPipeline(len(m.paths), ex,
+		m.readAt,
+		func(ci int, c *la.CSR) (any, error) {
+			lo, _ := m.chunkBounds(ci)
+			return mapFn(ci, lo, c)
+		},
+		commit)
+}
+
+// ForEach streams every CSR chunk through fn in row order with read-ahead;
+// fn is never called concurrently.
+func (m *SparseMatrix) ForEach(fn func(lo int, chunk *la.CSR) error) error {
+	return m.ForEachExec(Exec{Workers: 1, Prefetch: 2}, fn)
+}
+
+// ForEachExec streams chunks under the given execution; with ex.Workers>1,
+// fn runs concurrently and chunk order is unspecified.
+func (m *SparseMatrix) ForEachExec(ex Exec, fn func(lo int, chunk *la.CSR) error) error {
+	return m.pipeline(ex, func(ci, lo int, c *la.CSR) (any, error) {
+		return nil, fn(lo, c)
+	}, nil)
+}
+
+// CSR loads the whole matrix back into memory (tests and small data only).
+func (m *SparseMatrix) CSR() (*la.CSR, error) {
+	parts := make([]*la.CSR, len(m.paths))
+	err := m.pipeline(Parallel(), func(ci, lo int, c *la.CSR) (any, error) {
+		return c, nil
+	}, func(ci int, v any) error {
+		parts[ci] = v.(*la.CSR)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return la.VCatCSR(parts...), nil
+}
+
+// Mul computes m·x into a new chunked dense matrix with one parallel
+// streaming pass.
+func (m *SparseMatrix) Mul(x *la.Dense) (*Matrix, error) { return m.MulExec(Parallel(), x) }
+
+// MulExec computes m·x under the given execution. On failure every output
+// chunk written so far is removed.
+func (m *SparseMatrix) MulExec(ex Exec, x *la.Dense) (*Matrix, error) {
+	if x.Rows() != m.cols {
+		return nil, fmt.Errorf("chunk: sparse Mul %dx%d · %dx%d", m.rows, m.cols, x.Rows(), x.Cols())
+	}
+	if m.freed {
+		return nil, ErrFreed
+	}
+	paths, err := m.store.alloc(len(m.paths))
+	if err != nil {
+		return nil, err
+	}
+	err = m.pipeline(ex, func(ci, lo int, c *la.CSR) (any, error) {
+		return nil, writeChunk(paths[ci], c.Mul(x))
+	}, nil)
+	if err != nil {
+		m.store.release(paths)
+		return nil, err
+	}
+	return &Matrix{store: m.store, rows: m.rows, cols: x.Cols(), chunkRows: m.chunkRows, paths: paths}, nil
+}
+
+// TMul computes mᵀ·x, accumulating the cols×xCols output in memory.
+func (m *SparseMatrix) TMul(x *la.Dense) (*la.Dense, error) { return m.TMulExec(Parallel(), x) }
+
+// TMulExec computes mᵀ·x under the given execution.
+func (m *SparseMatrix) TMulExec(ex Exec, x *la.Dense) (*la.Dense, error) {
+	if x.Rows() != m.rows {
+		return nil, fmt.Errorf("chunk: sparse TMul %dx%dᵀ · %dx%d", m.rows, m.cols, x.Rows(), x.Cols())
+	}
+	acc := la.NewDense(m.cols, x.Cols())
+	err := m.pipeline(ex, func(ci, lo int, c *la.CSR) (any, error) {
+		return c.TMul(x.SliceRowsDense(lo, lo+c.Rows())), nil
+	}, func(ci int, v any) error {
+		acc.AddInPlace(v.(*la.Dense))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// CrossProd computes mᵀ·m by accumulating per-chunk cross-products.
+func (m *SparseMatrix) CrossProd() (*la.Dense, error) { return m.CrossProdExec(Parallel()) }
+
+// CrossProdExec computes mᵀ·m under the given execution.
+func (m *SparseMatrix) CrossProdExec(ex Exec) (*la.Dense, error) {
+	acc := la.NewDense(m.cols, m.cols)
+	err := m.pipeline(ex, func(ci, lo int, c *la.CSR) (any, error) {
+		return c.CrossProd(), nil
+	}, func(ci int, v any) error {
+		acc.AddInPlace(v.(*la.Dense))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// ColSums aggregates column sums in one pass.
+func (m *SparseMatrix) ColSums() (*la.Dense, error) { return m.ColSumsExec(Parallel()) }
+
+// ColSumsExec aggregates column sums under the given execution.
+func (m *SparseMatrix) ColSumsExec(ex Exec) (*la.Dense, error) {
+	acc := la.NewDense(1, m.cols)
+	err := m.pipeline(ex, func(ci, lo int, c *la.CSR) (any, error) {
+		return c.ColSums(), nil
+	}, func(ci int, v any) error {
+		acc.AddInPlace(v.(*la.Dense))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// Sum aggregates the grand total in one pass.
+func (m *SparseMatrix) Sum() (float64, error) {
+	total := 0.0
+	err := m.pipeline(Parallel(), func(ci, lo int, c *la.CSR) (any, error) {
+		return c.Sum(), nil
+	}, func(ci int, v any) error {
+		total += v.(float64)
+		return nil
+	})
+	return total, err
+}

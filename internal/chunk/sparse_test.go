@@ -1,0 +1,182 @@
+package chunk
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/la"
+)
+
+// randCSR builds a random sparse matrix with ~density fraction non-zeros.
+func randCSR(rng *rand.Rand, rows, cols int, density float64) *la.CSR {
+	b := la.NewCSRBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				b.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestSparseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	s := testStore(t)
+	c := randCSR(rng, 57, 9, 0.2) // ragged last chunk
+	m, err := FromCSR(s, c, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumChunks() != 6 {
+		t.Fatalf("chunks = %d, want 6", m.NumChunks())
+	}
+	if m.NNZ() != int64(c.NNZ()) {
+		t.Fatalf("nnz = %d, want %d", m.NNZ(), c.NNZ())
+	}
+	got, err := m.CSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !la.EqualApprox(got.Dense(), c.Dense(), 0) {
+		t.Fatal("sparse round trip mismatch")
+	}
+}
+
+// TestSparseOpsMatchInMemory pins the chunked sparse operators to their
+// in-memory CSR counterparts under both serial and parallel execution.
+func TestSparseOpsMatchInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	s := testStore(t)
+	c := randCSR(rng, 83, 6, 0.3)
+	m, err := FromCSR(s, c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range []Exec{Serial, parExec} {
+		x := randDense(rng, 6, 3)
+		mul, err := m.MulExec(ex, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mulD, err := mul.Dense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !la.EqualApprox(mulD, c.Mul(x), 1e-12) {
+			t.Fatal("chunked sparse Mul mismatch")
+		}
+		if err := mul.Free(); err != nil {
+			t.Fatal(err)
+		}
+
+		xt := randDense(rng, 83, 2)
+		tm, err := m.TMulExec(ex, xt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !la.EqualApprox(tm, c.TMul(xt), 1e-12) {
+			t.Fatal("chunked sparse TMul mismatch")
+		}
+
+		cp, err := m.CrossProdExec(ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !la.EqualApprox(cp, c.CrossProd(), 1e-12) {
+			t.Fatal("chunked sparse CrossProd mismatch")
+		}
+
+		cs, err := m.ColSumsExec(ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !la.EqualApprox(cs, c.ColSums(), 1e-12) {
+			t.Fatal("chunked sparse ColSums mismatch")
+		}
+
+		sum, err := m.Sum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := sum - c.Sum(); d > 1e-9 || d < -1e-9 {
+			t.Fatal("chunked sparse Sum mismatch")
+		}
+	}
+}
+
+// TestSparseCorruptChunkSurfacesError: a corrupt sparse chunk must return
+// an error, never panic (la.NewCSR's invariant panics are converted).
+func TestSparseCorruptChunkSurfacesError(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := randCSR(rng, 30, 5, 0.4)
+	m, err := FromCSR(s, c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "chunk-") {
+			first = filepath.Join(dir, e.Name())
+			break
+		}
+	}
+	// Truncation: wrong byte count.
+	if err := os.Truncate(first, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CSR(); err == nil {
+		t.Fatal("CSR() succeeded on truncated chunk")
+	}
+	if _, err := m.CrossProd(); err == nil {
+		t.Fatal("CrossProd succeeded on truncated chunk")
+	}
+	// Structural corruption: right size, garbage content.
+	raw := make([]byte, 8*3)
+	if err := os.WriteFile(first, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Sum(); err == nil {
+		t.Fatal("Sum succeeded on corrupt chunk")
+	}
+}
+
+// TestSparseFreeRemovesChunks: sparse spill files participate in the same
+// refcounted lifecycle as dense ones.
+func TestSparseFreeRemovesChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := randCSR(rng, 24, 4, 0.5)
+	m, err := FromCSR(s, c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chunkFileCount(t, dir); got != m.NumChunks() {
+		t.Fatalf("%d files, want %d", got, m.NumChunks())
+	}
+	if err := m.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if got := chunkFileCount(t, dir); got != 0 {
+		t.Fatalf("%d files left after Free", got)
+	}
+	if err := m.ForEach(func(lo int, c *la.CSR) error { return nil }); err != ErrFreed {
+		t.Fatalf("ForEach on freed sparse matrix: %v, want ErrFreed", err)
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chunk"
+	"repro/internal/la"
+)
+
+// Streamed factorized operators over out-of-core base tables. They apply
+// the same rewrite rules as NormalizedMatrix — crossprod via Algorithm 2,
+// LMM/RMM via §3.3.3, DMM via appendix C — but the entity table S and its
+// foreign-key column live in a chunk store, so per-iteration I/O is
+// proportional to the base tables, never to the joined nS×(dS+dR) output.
+// Every pass runs on the chunk package's parallel pipeline; reductions
+// commit in chunk order, so results are deterministic for any Exec.
+
+// StreamedCrossProd computes TᵀT for T = [S, K·R] with the paper's
+// efficient rewrite (Algorithm 2) in a single pass over the chunked S and
+// FK column:
+//
+//	[ SᵀS      SᵀK·R                ]
+//	[ (SᵀK·R)ᵀ Rᵀ·diag(counts)·R   ]
+//
+// SᵀS and the scatter-add KᵀS accumulate chunk by chunk; the R-side blocks
+// are assembled in memory afterwards.
+func StreamedCrossProd(ex chunk.Exec, nt *chunk.NormalizedTable) (*la.Dense, error) {
+	dS, dR := nt.S.Cols(), nt.R.Cols()
+	nR := nt.R.Rows()
+	sts := la.NewDense(dS, dS)
+	kts := la.NewDense(nR, dS) // KᵀS scatter-add
+	counts := make([]float64, nR)
+
+	type part struct {
+		cp   *la.Dense
+		c    *la.Dense
+		keys []int32
+	}
+	err := nt.S.MapChunks(ex, func(ci, lo int, c *la.Dense) (any, error) {
+		_, keys, err := nt.FK.Keys(ci)
+		if err != nil {
+			return nil, err
+		}
+		return part{cp: c.CrossProd(), c: c, keys: keys}, nil
+	}, func(ci int, v any) error {
+		p := v.(part)
+		sts.AddInPlace(p.cp)
+		for i, rid := range p.keys {
+			counts[rid]++
+			dst := kts.Row(int(rid))
+			for j, s := range p.c.Row(i) {
+				dst[j] += s
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Off-diagonal block SᵀK·R = (KᵀS)ᵀ·R and the R diagonal block
+	// crossprod(diag(counts)^½ · R) — both in memory.
+	skr := la.TMatMul(kts, nt.R)
+	sq := make([]float64, nR)
+	for i, v := range counts {
+		sq[i] = math.Sqrt(v)
+	}
+	rtr := nt.R.ScaleRowsDense(sq).CrossProd()
+
+	out := la.NewDense(dS+dR, dS+dR)
+	placeBlock(out, sts, 0, 0)
+	placeBlock(out, skr, 0, dS)
+	placeBlock(out, skr.TDense(), dS, 0)
+	placeBlock(out, rtr, dS, dS)
+	return out, nil
+}
+
+// StreamedMul computes T·x (LMM, §3.3.3) for an in-memory x, producing a
+// chunked result: per chunk it is S_chunk·xS plus a gather of the
+// precomputed R·xR partials, so only the base table and key column are
+// read.
+func StreamedMul(ex chunk.Exec, nt *chunk.NormalizedTable, x *la.Dense) (*chunk.Matrix, error) {
+	dS := nt.S.Cols()
+	if x.Rows() != nt.Cols() {
+		return nil, fmt.Errorf("core: streamed Mul %dx%d · %dx%d", nt.Rows(), nt.Cols(), x.Rows(), x.Cols())
+	}
+	xS := x.SliceRowsDense(0, dS)
+	rx := la.MatMul(nt.R, x.SliceRowsDense(dS, x.Rows())) // nR×k partials
+	return nt.S.MapChunksToMatrix(ex, x.Cols(), func(ci, lo int, c *la.Dense) (*la.Dense, error) {
+		_, keys, err := nt.FK.Keys(ci)
+		if err != nil {
+			return nil, err
+		}
+		out := la.MatMul(c, xS)
+		for i, rid := range keys {
+			dst := out.Row(i)
+			for j, v := range rx.Row(int(rid)) {
+				dst[j] += v
+			}
+		}
+		return out, nil
+	})
+}
+
+// StreamedTMul computes Tᵀ·x (RMM on the transpose) for an in-memory x:
+// the S block streams Sᵀ·x chunk by chunk, the R block scatter-adds x rows
+// per join key and multiplies by Rᵀ once at the end.
+func StreamedTMul(ex chunk.Exec, nt *chunk.NormalizedTable, x *la.Dense) (*la.Dense, error) {
+	if x.Rows() != nt.Rows() {
+		return nil, fmt.Errorf("core: streamed TMul %dx%dᵀ · %dx%d", nt.Rows(), nt.Cols(), x.Rows(), x.Cols())
+	}
+	dS, dR := nt.S.Cols(), nt.R.Cols()
+	nR, k := nt.R.Rows(), x.Cols()
+	top := la.NewDense(dS, k)
+	ktx := la.NewDense(nR, k) // Kᵀx scatter-add
+
+	type part struct {
+		stx  *la.Dense
+		keys []int32
+		lo   int
+	}
+	err := nt.S.MapChunks(ex, func(ci, lo int, c *la.Dense) (any, error) {
+		_, keys, err := nt.FK.Keys(ci)
+		if err != nil {
+			return nil, err
+		}
+		return part{stx: la.TMatMul(c, x.SliceRowsDense(lo, lo+c.Rows())), keys: keys, lo: lo}, nil
+	}, func(ci int, v any) error {
+		p := v.(part)
+		top.AddInPlace(p.stx)
+		for i, rid := range p.keys {
+			dst := ktx.Row(int(rid))
+			for j, xv := range x.Row(p.lo + i) {
+				dst[j] += xv
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	bottom := la.TMatMul(nt.R, ktx) // Rᵀ·(Kᵀx), dR×k
+	out := la.NewDense(dS+dR, k)
+	placeBlock(out, top, 0, 0)
+	placeBlock(out, bottom, dS, 0)
+	return out, nil
+}
+
+// StreamedMulNorm computes the DMM T·B for an out-of-core T and an
+// in-memory normalized B (appendix C applied at ORE scale): B's
+// materialization is only (dS+dR)×dB — the small side of the product — so
+// it is formed once in memory while T streams factorized, and the chunked
+// result costs I/O proportional to S plus the key column, never to the
+// joined output of either operand.
+func StreamedMulNorm(ex chunk.Exec, nt *chunk.NormalizedTable, b *NormalizedMatrix) (*chunk.Matrix, error) {
+	if nt.Cols() != b.Rows() {
+		return nil, fmt.Errorf("core: streamed DMM %dx%d · %dx%d", nt.Rows(), nt.Cols(), b.Rows(), b.Cols())
+	}
+	return StreamedMul(ex, nt, b.Dense())
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/la"
+)
+
+// buildStreamed creates matching in-memory and out-of-core views of the
+// same PK-FK normalized matrix.
+func buildStreamed(t *testing.T, rng *rand.Rand, nS, dS, nR, dR, chunkRows int) (*NormalizedMatrix, *chunk.NormalizedTable, *chunk.Store) {
+	t.Helper()
+	s := la.NewDense(nS, dS)
+	r := la.NewDense(nR, dR)
+	for i := range s.Data() {
+		s.Data()[i] = rng.NormFloat64()
+	}
+	for i := range r.Data() {
+		r.Data()[i] = rng.NormFloat64()
+	}
+	fk := make([]int, nS)
+	fk32 := make([]int32, nS)
+	for i := range fk {
+		fk[i] = rng.Intn(nR)
+		fk32[i] = int32(fk[i])
+	}
+	k := la.NewIndicator(fk, nR)
+	nm, err := NewPKFK(s, k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := chunk.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := chunk.FromDense(store, s, chunkRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fkv, err := chunk.BuildIntVector(store, fk32, chunkRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt, err := chunk.NewNormalizedTable(sm, fkv, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nm, nt, store
+}
+
+var streamExecs = []chunk.Exec{chunk.Serial, {Workers: 4, Prefetch: 3}}
+
+// TestStreamedCrossProdMatchesInMemory pins the streamed Algorithm 2 to
+// the in-memory factorized CrossProd and the materialized TᵀT.
+func TestStreamedCrossProdMatchesInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	nm, nt, _ := buildStreamed(t, rng, 150, 4, 9, 5, 16)
+	want := nm.CrossProd()
+	mat := nm.Dense().CrossProd()
+	for _, ex := range streamExecs {
+		got, err := StreamedCrossProd(ex, nt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if la.MaxAbsDiff(got, want) > 1e-10 {
+			t.Fatalf("workers=%d: streamed crossprod deviates from factorized by %g", ex.Workers, la.MaxAbsDiff(got, want))
+		}
+		if la.MaxAbsDiff(got, mat) > 1e-10 {
+			t.Fatalf("workers=%d: streamed crossprod deviates from materialized by %g", ex.Workers, la.MaxAbsDiff(got, mat))
+		}
+	}
+}
+
+// TestStreamedMulMatchesInMemory pins the streamed LMM to the in-memory
+// factorized Mul.
+func TestStreamedMulMatchesInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	nm, nt, _ := buildStreamed(t, rng, 130, 3, 8, 6, 16)
+	x := la.NewDense(nm.Cols(), 2)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	want := nm.Mul(x)
+	for _, ex := range streamExecs {
+		got, err := StreamedMul(ex, nt, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotD, err := got.Dense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if la.MaxAbsDiff(gotD, want) > 1e-12 {
+			t.Fatalf("workers=%d: streamed Mul deviates by %g", ex.Workers, la.MaxAbsDiff(gotD, want))
+		}
+		if err := got.Free(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := StreamedMul(chunk.Serial, nt, la.NewDense(nm.Cols()+1, 2)); err == nil {
+		t.Fatal("accepted shape mismatch")
+	}
+}
+
+// TestStreamedTMulMatchesInMemory pins the streamed Tᵀ·x to the in-memory
+// factorized path.
+func TestStreamedTMulMatchesInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	nm, nt, _ := buildStreamed(t, rng, 120, 4, 7, 3, 16)
+	x := la.NewDense(nm.Rows(), 2)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	want := nm.Transpose().Mul(x)
+	for _, ex := range streamExecs {
+		got, err := StreamedTMul(ex, nt, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if la.MaxAbsDiff(got, want) > 1e-10 {
+			t.Fatalf("workers=%d: streamed TMul deviates by %g", ex.Workers, la.MaxAbsDiff(got, want))
+		}
+	}
+	if _, err := StreamedTMul(chunk.Serial, nt, la.NewDense(nm.Rows()+1, 2)); err == nil {
+		t.Fatal("accepted shape mismatch")
+	}
+}
+
+// TestStreamedMulNormMatchesDMM pins the streamed DMM against the
+// materialized product of both operands.
+func TestStreamedMulNormMatchesDMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	nm, nt, store := buildStreamed(t, rng, 110, 3, 6, 4, 16)
+	defer store.Close()
+	// B: an in-memory normalized matrix with nm.Cols() rows.
+	nB := nm.Cols()
+	sB := la.NewDense(nB, 3)
+	rB := la.NewDense(4, 2)
+	for i := range sB.Data() {
+		sB.Data()[i] = rng.NormFloat64()
+	}
+	for i := range rB.Data() {
+		rB.Data()[i] = rng.NormFloat64()
+	}
+	fkB := make([]int, nB)
+	for i := range fkB {
+		fkB[i] = rng.Intn(4)
+	}
+	b, err := NewPKFK(sB, la.NewIndicator(fkB, 4), rB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := la.MatMul(nm.Dense(), b.Dense())
+	for _, ex := range streamExecs {
+		got, err := StreamedMulNorm(ex, nt, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotD, err := got.Dense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if la.MaxAbsDiff(gotD, want) > 1e-10 {
+			t.Fatalf("workers=%d: streamed DMM deviates by %g", ex.Workers, la.MaxAbsDiff(gotD, want))
+		}
+		if err := got.Free(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

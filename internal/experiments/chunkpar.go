@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/chunk"
+	"repro/internal/datagen"
+	"repro/internal/la"
+)
+
+// chunkpar measures the parallel out-of-core engine against the strictly
+// serial chunked execution on the §5.2.4 workload: the same GLM iterations
+// Tables 9/10 time, run once with Serial (read one chunk, compute, read
+// the next) and once with the prefetching worker pipeline. This is the
+// experiment `morpheus-bench -chunked` runs; on a multi-core box the
+// parallel column should be ≥2× faster, and the weights are asserted
+// bit-identical between the two (ordered commit).
+func chunkpar(cfg Config) (Result, error) {
+	par := chunkExec(cfg)
+	res := Result{
+		ID:     "chunkpar",
+		Title:  "Out-of-core engine: serial vs parallel chunked execution (GLM iterations + operators)",
+		Header: []string{"workload", "serial(s)", "parallel(s)", "speedup"},
+		Notes: fmt.Sprintf("workers=%d prefetch=%d GOMAXPROCS=%d; identical results asserted (ordered commit); store emptied on completion",
+			par.Workers, par.Prefetch, runtime.GOMAXPROCS(0)),
+	}
+	st, cleanup, err := chunkStore(cfg, "chunkpar")
+	if err != nil {
+		return Result{}, err
+	}
+	defer cleanup()
+
+	nR := cfg.scaled(1000)
+	nS := 20 * nR
+	dS := 60
+	const iters = 2
+	const chunkRows = 1024
+	dR := 2 * dS
+	nm, err := datagen.PKFK(datagen.PKFKSpec{NS: nS, DS: dS, NR: nR, DR: dR, Seed: cfg.Seed})
+	if err != nil {
+		return Result{}, err
+	}
+	y := datagen.Labels(nm, 0, true, cfg.Seed)
+	tM, err := chunk.FromDense(st, nm.Dense(), chunkRows)
+	if err != nil {
+		return Result{}, err
+	}
+	sM, err := chunk.FromDense(st, nm.S().Dense(), chunkRows)
+	if err != nil {
+		return Result{}, err
+	}
+	fkv, err := chunk.BuildIntVector(st, nm.Ks()[0].Assignments(), chunkRows)
+	if err != nil {
+		return Result{}, err
+	}
+	nt, err := chunk.NewNormalizedTable(sM, fkv, nm.Rs()[0].Dense())
+	if err != nil {
+		return Result{}, err
+	}
+	defer tM.Free()
+	defer nt.Free()
+
+	row := func(name string, run func(chunk.Exec) (*la.Dense, error)) error {
+		var wSer, wPar *la.Dense
+		sT := timeIt(func() {
+			var err error
+			wSer, err = run(chunk.Serial)
+			if err != nil {
+				panic(err)
+			}
+		})
+		pT := timeIt(func() {
+			var err error
+			wPar, err = run(par)
+			if err != nil {
+				panic(err)
+			}
+		})
+		if wSer != nil && wPar != nil && la.MaxAbsDiff(wSer, wPar) != 0 {
+			return fmt.Errorf("chunkpar: %s serial and parallel results diverged", name)
+		}
+		res.Rows = append(res.Rows, []string{name, secs(sT), secs(pT), ratio(sT, pT)})
+		return nil
+	}
+
+	if err := row(fmt.Sprintf("glm-materialized (%d iters)", iters), func(ex chunk.Exec) (*la.Dense, error) {
+		r, err := chunk.LogRegMaterializedExec(ex, tM, y, iters, 1e-6)
+		if err != nil {
+			return nil, err
+		}
+		return r.W, nil
+	}); err != nil {
+		return Result{}, err
+	}
+	if err := row(fmt.Sprintf("glm-factorized (%d iters)", iters), func(ex chunk.Exec) (*la.Dense, error) {
+		r, err := chunk.LogRegFactorizedExec(ex, nt, y, iters, 1e-6)
+		if err != nil {
+			return nil, err
+		}
+		return r.W, nil
+	}); err != nil {
+		return Result{}, err
+	}
+	if err := row("crossprod(T)", tM.CrossProdExec); err != nil {
+		return Result{}, err
+	}
+	if err := row("colsums(T)", tM.ColSumsExec); err != nil {
+		return Result{}, err
+	}
+	xc := la.Ones(tM.Cols(), 4)
+	if err := row("T·x (chunked out)", func(ex chunk.Exec) (*la.Dense, error) {
+		p, err := tM.MulExec(ex, xc)
+		if err != nil {
+			return nil, err
+		}
+		defer p.Free()
+		return p.ColSumsExec(ex)
+	}); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+func init() {
+	register("chunkpar", chunkpar)
+}

@@ -67,6 +67,9 @@ type Config struct {
 	Seed  int64
 	// TmpDir hosts the out-of-core chunk stores (Tables 9, 10).
 	TmpDir string
+	// Workers bounds the out-of-core engine's chunk parallelism
+	// (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultConfig returns Scale=1, Seed=1.

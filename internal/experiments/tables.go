@@ -137,10 +137,25 @@ func chunkStore(cfg Config, name string) (*chunk.Store, func(), error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		return st, func() { os.RemoveAll(d) }, nil
+		return st, func() { st.Close(); os.RemoveAll(d) }, nil
 	}
+	// A user-supplied directory is not removed, but Close still deletes
+	// every spill file the run created.
 	st, err := chunk.NewStore(dir)
-	return st, func() {}, err
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, func() { st.Close() }, nil
+}
+
+// chunkExec is the parallel out-of-core execution used by the §5.2.4
+// runners, honoring the configured worker bound.
+func chunkExec(cfg Config) chunk.Exec {
+	ex := chunk.Parallel()
+	if cfg.Workers > 0 {
+		ex = chunk.Exec{Workers: cfg.Workers, Prefetch: 2 * cfg.Workers}
+	}
+	return ex
 }
 
 // table9 regenerates Table 9: per-iteration logistic regression time on the
@@ -187,17 +202,18 @@ func table9(cfg Config) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
+		ex := chunkExec(cfg)
 		var resM, resF *chunk.LogRegResult
 		mT := timeIt(func() {
 			var err error
-			resM, err = chunk.LogRegMaterialized(tM, y, iters, 1e-6)
+			resM, err = chunk.LogRegMaterializedExec(ex, tM, y, iters, 1e-6)
 			if err != nil {
 				panic(err)
 			}
 		})
 		fT := timeIt(func() {
 			var err error
-			resF, err = chunk.LogRegFactorized(nt, y, iters, 1e-6)
+			resF, err = chunk.LogRegFactorizedExec(ex, nt, y, iters, 1e-6)
 			if err != nil {
 				panic(err)
 			}
@@ -210,6 +226,9 @@ func table9(cfg Config) (Result, error) {
 			secs(time.Duration(int64(mT) / iters)), secs(time.Duration(int64(fT) / iters)),
 			ratio(mT, fT),
 			fmt.Sprint(resM.BytesRead), fmt.Sprint(resF.BytesRead)})
+		// Release this sweep point's spill files before the next one.
+		tM.Free()
+		nt.Free()
 	}
 	return res, nil
 }
@@ -267,17 +286,18 @@ func table10(cfg Config) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
+		ex := chunkExec(cfg)
 		var resM, resF *chunk.LogRegResult
 		mT := timeIt(func() {
 			var err error
-			resM, err = chunk.LogRegMaterialized(tM, y, iters, 1e-7)
+			resM, err = chunk.LogRegMaterializedExec(ex, tM, y, iters, 1e-7)
 			if err != nil {
 				panic(err)
 			}
 		})
 		fT := timeIt(func() {
 			var err error
-			resF, err = chunk.LogRegFactorizedMN(mn, y, iters, 1e-7)
+			resF, err = chunk.LogRegFactorizedMNExec(ex, mn, y, iters, 1e-7)
 			if err != nil {
 				panic(err)
 			}
@@ -289,6 +309,9 @@ func table10(cfg Config) (Result, error) {
 			fmt.Sprint(nU), fmt.Sprint(nm.Rows()),
 			secs(time.Duration(int64(mT) / iters)), secs(time.Duration(int64(fT) / iters)),
 			ratio(mT, fT)})
+		// Release this sweep point's spill files before the next one.
+		tM.Free()
+		mn.Free()
 	}
 	return res, nil
 }

@@ -53,34 +53,33 @@ func axpy(dst, src []float64, alpha float64) {
 }
 
 // TMatMul computes aᵀ·b without materializing aᵀ. Parallelism is over rows
-// of a with per-worker accumulators merged at the end.
+// of a with per-chunk partial accumulators merged in chunk order, so the
+// result is deterministic for a fixed GOMAXPROCS (merging in goroutine
+// completion order would make every call a slightly different float sum).
 func TMatMul(a, b *Dense) *Dense {
 	if a.rows != b.rows {
 		panic(fmt.Sprintf("la: TMatMul %dx%d ᵀ· %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	work := a.rows * a.cols * b.cols
-	if work < parallelThreshold {
+	chunks := parallelChunks(a.rows, work)
+	if chunks == 1 {
 		out := NewDense(a.cols, b.cols)
 		tMatMulRange(out, a, b, 0, a.rows)
 		return out
 	}
-	// Partial outputs per chunk, reduced by a single accumulator goroutine.
-	parts := make(chan *Dense, 64)
-	done := make(chan *Dense)
-	go func() {
-		acc := NewDense(a.cols, b.cols)
-		for p := range parts {
-			acc.AddInPlace(p)
-		}
-		done <- acc
-	}()
-	parallelFor(a.rows, work, func(lo, hi int) {
+	parts := make([]*Dense, chunks)
+	parallelForChunked(a.rows, chunks, func(c, lo, hi int) {
 		p := NewDense(a.cols, b.cols)
 		tMatMulRange(p, a, b, lo, hi)
-		parts <- p
+		parts[c] = p
 	})
-	close(parts)
-	return <-done
+	acc := parts[0]
+	for _, p := range parts[1:] {
+		if p != nil {
+			acc.AddInPlace(p)
+		}
+	}
+	return acc
 }
 
 func tMatMulRange(out, a, b *Dense, lo, hi int) {
@@ -135,28 +134,27 @@ func dot(x, y []float64) float64 {
 func (m *Dense) CrossProd() *Dense {
 	d := m.cols
 	work := m.rows * d * d / 2
-	if work < parallelThreshold {
+	chunks := parallelChunks(m.rows, work)
+	if chunks == 1 {
 		out := NewDense(d, d)
 		crossRange(out, m, 0, m.rows)
 		mirrorLower(out)
 		return out
 	}
-	parts := make(chan *Dense, 64)
-	done := make(chan *Dense)
-	go func() {
-		acc := NewDense(d, d)
-		for p := range parts {
-			acc.AddInPlace(p)
-		}
-		done <- acc
-	}()
-	parallelFor(m.rows, work, func(lo, hi int) {
+	// Per-chunk partials merged in chunk order: deterministic for a fixed
+	// GOMAXPROCS, unlike completion-order merging.
+	parts := make([]*Dense, chunks)
+	parallelForChunked(m.rows, chunks, func(c, lo, hi int) {
 		p := NewDense(d, d)
 		crossRange(p, m, lo, hi)
-		parts <- p
+		parts[c] = p
 	})
-	close(parts)
-	out := <-done
+	out := parts[0]
+	for _, p := range parts[1:] {
+		if p != nil {
+			out.AddInPlace(p)
+		}
+	}
 	mirrorLower(out)
 	return out
 }

@@ -9,21 +9,41 @@ import (
 // serially; goroutine fan-out costs more than it saves on small inputs.
 const parallelThreshold = 1 << 15
 
+// parallelChunks reports how many contiguous chunks parallelFor would
+// split [0,n) into: 1 when parallelism does not pay off, else up to
+// GOMAXPROCS. Reduction kernels use it to pre-size per-chunk partial
+// accumulators that are merged in chunk order, keeping results
+// deterministic for a fixed GOMAXPROCS.
+func parallelChunks(n int, work int) int {
+	procs := runtime.GOMAXPROCS(0)
+	if procs == 1 || work < parallelThreshold || n < 2 {
+		return 1
+	}
+	if procs > n {
+		return n
+	}
+	return procs
+}
+
 // parallelFor splits [0,n) into contiguous chunks and runs body(lo, hi) on
 // up to GOMAXPROCS goroutines. work is an estimate of total scalar
 // operations used to decide whether parallelism pays off.
 func parallelFor(n int, work int, body func(lo, hi int)) {
-	procs := runtime.GOMAXPROCS(0)
+	parallelForChunked(n, parallelChunks(n, work), func(c, lo, hi int) { body(lo, hi) })
+}
+
+// parallelForChunked runs body over `chunks` contiguous ranges of [0,n)
+// with the chunk index exposed, so reduction kernels can write into
+// per-chunk slots. The caller passes the chunk count it sized those slots
+// with (from parallelChunks) — recomputing it here could disagree if
+// GOMAXPROCS changed in between, indexing the slots out of range.
+func parallelForChunked(n int, chunks int, body func(c, lo, hi int)) {
 	if n == 0 {
 		return
 	}
-	if procs == 1 || work < parallelThreshold || n < 2 {
-		body(0, n)
+	if chunks <= 1 {
+		body(0, 0, n)
 		return
-	}
-	chunks := procs
-	if chunks > n {
-		chunks = n
 	}
 	var wg sync.WaitGroup
 	wg.Add(chunks)
@@ -34,12 +54,12 @@ func parallelFor(n int, work int, body func(lo, hi int)) {
 		if hi > n {
 			hi = n
 		}
-		go func(lo, hi int) {
+		go func(c, lo, hi int) {
 			defer wg.Done()
 			if lo < hi {
-				body(lo, hi)
+				body(c, lo, hi)
 			}
-		}(lo, hi)
+		}(c, lo, hi)
 	}
 	wg.Wait()
 }

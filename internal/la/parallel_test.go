@@ -61,6 +61,28 @@ func TestLargeKernelsHitParallelPaths(t *testing.T) {
 	}
 }
 
+// TestReductionKernelsDeterministic: TMatMul and CrossProd must return
+// bit-identical results on repeated calls even above the parallel
+// threshold. The per-chunk partials used to be merged in goroutine
+// completion order, which made every call a slightly different float sum
+// on multi-core machines — breaking the out-of-core engine's
+// serial-vs-parallel equivalence checks.
+func TestReductionKernelsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	a := randDense(rng, 500, 120) // comfortably above parallelThreshold
+	b := randDense(rng, 500, 80)
+	tm0 := TMatMul(a, b)
+	cp0 := a.CrossProd()
+	for i := 0; i < 5; i++ {
+		if MaxAbsDiff(TMatMul(a, b), tm0) != 0 {
+			t.Fatal("TMatMul not deterministic across calls")
+		}
+		if MaxAbsDiff(a.CrossProd(), cp0) != 0 {
+			t.Fatal("CrossProd not deterministic across calls")
+		}
+	}
+}
+
 func TestParallelRowsExported(t *testing.T) {
 	var total int64
 	ParallelRows(500, 1<<20, func(lo, hi int) {

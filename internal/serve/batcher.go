@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -156,6 +157,21 @@ func (b *Batcher) drain(batch []batchReq) []batchReq {
 	return batch
 }
 
+// scoreBatch calls the backend, converting a panic into an error: without
+// the recover, a panicking BatchScorer would escape the worker goroutine —
+// skipping the response sends, so every coalesced caller in the batch
+// blocks forever while the panic takes down the process. With it, all
+// callers get the error, the semaphore slot is released, and the batcher
+// keeps serving.
+func (b *Batcher) scoreBatch(ids []int) (scores []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			scores, err = nil, fmt.Errorf("serve: ScoreBatch panicked: %v", r)
+		}
+	}()
+	return b.sc.ScoreBatch(ids)
+}
+
 // run executes one batch on the worker pool, blocking for a slot so at most
 // Workers batches are in flight.
 func (b *Batcher) run(batch []batchReq) {
@@ -170,7 +186,10 @@ func (b *Batcher) run(batch []batchReq) {
 		for i, r := range batch {
 			ids[i] = r.id
 		}
-		scores, err := b.sc.ScoreBatch(ids)
+		scores, err := b.scoreBatch(ids)
+		if err == nil && len(scores) != len(ids) {
+			err = fmt.Errorf("serve: ScoreBatch returned %d scores for %d ids", len(scores), len(ids))
+		}
 		for i, r := range batch {
 			if err != nil {
 				r.out <- batchResp{err: err}
