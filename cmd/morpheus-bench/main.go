@@ -7,8 +7,9 @@
 //	morpheus-bench -list                # show experiment IDs
 //	morpheus-bench -exp fig5 -scale 2   # grow workloads toward paper scale
 //	morpheus-bench -exp table9 -tmpdir /fast/disk
-//	morpheus-bench -chunked             # out-of-core engine: serial vs parallel
+//	morpheus-bench -chunked             # out-of-core suite
 //	morpheus-bench -chunked -workers 4  # ... with a fixed worker count
+//	morpheus-bench -chunked -mem 64     # ... under a 64 MB chunk budget
 //
 // Each experiment prints a text table with the materialized (M) and
 // factorized (F) runtimes and the speed-up, mirroring the series in the
@@ -16,8 +17,11 @@
 // the paper-vs-measured record.
 //
 // -chunked runs the out-of-core suite: the serial-vs-parallel engine
-// comparison (chunkpar) followed by the §5.2.4 Tables 9 and 10, all under
-// the parallel prefetching chunk pipeline.
+// comparison (chunkpar), the star-schema/sparse/k-means interface suite
+// (chunkstar), and the §5.2.4 Tables 9 and 10, all under the parallel
+// prefetching chunk pipeline. -mem bounds the decoded-chunk memory; chunk
+// heights are derived from it via chunk.AutoRows instead of being
+// hard-coded.
 package main
 
 import (
@@ -36,7 +40,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "data generation seed")
 		tmpdir  = flag.String("tmpdir", "", "directory for out-of-core chunk stores (default: system temp)")
 		workers = flag.Int("workers", 0, "out-of-core chunk workers (0 = GOMAXPROCS)")
-		chunked = flag.Bool("chunked", false, "run the out-of-core suite (chunkpar, table9, table10)")
+		mem     = flag.Int("mem", 0, "out-of-core decoded-chunk memory budget in MB; chunk heights are autotuned from it (0 = 256)")
+		chunked = flag.Bool("chunked", false, "run the out-of-core suite (chunkpar, chunkstar, table9, table10)")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -49,11 +54,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "morpheus-bench: -exp is required (try -list or -chunked)")
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, TmpDir: *tmpdir, Workers: *workers}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, TmpDir: *tmpdir, Workers: *workers, MemBudgetMB: *mem}
 	var ids []string
 	switch {
 	case *chunked:
-		ids = []string{"chunkpar", "table9", "table10"}
+		ids = []string{"chunkpar", "chunkstar", "table9", "table10"}
 		if *exp != "" {
 			fmt.Fprintln(os.Stderr, "morpheus-bench: -chunked ignores -exp")
 		}

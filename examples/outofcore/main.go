@@ -1,9 +1,12 @@
 // Command outofcore walks through the parallel out-of-core engine: it
 // streams a table that never exists in memory into a chunk store, trains
 // the factorized GLM over the chunked base tables under both the serial
-// and parallel engines, demonstrates the streamed factorized operators,
-// and shows the spill-file lifecycle (Free / Close) leaving the store
-// directory empty.
+// and parallel engines, extends the same pipeline to a two-attribute-table
+// star schema and a one-hot sparse table through the unified chunk.Mat
+// interface, clusters the chunked table with streamed k-means, and shows
+// the spill-file lifecycle (Free / Close) leaving the store directory
+// empty. Chunk heights come from a memory budget via chunk.AutoRows, not
+// hard-coded constants.
 package main
 
 import (
@@ -32,13 +35,17 @@ func main() {
 	}
 	defer store.Close()
 
-	// An ORE-scale shape, shrunk to example size: 200k×20 entity table
-	// joined PK-FK with a 10k×40 attribute table.
+	// An ORE-scale shape, shrunk to example size: a 120k×20 entity table
+	// joined PK-FK with two attribute tables (one dense, one one-hot CSR).
 	const (
-		nS, dS    = 200_000, 20
-		nR, dR    = 10_000, 40
-		chunkRows = 8192
+		nS, dS     = 120_000, 20
+		nR1, dR1   = 10_000, 40
+		nR2, dR2   = 5_000, 64
+		memBudget  = 32 << 20 // decoded-chunk memory budget: 32 MB
+		totalWidth = dS + dR1 + dR2
 	)
+	ex := chunk.Parallel()
+	chunkRows := chunk.AutoRows(memBudget, totalWidth, ex.Workers, ex.Prefetch)
 	rng := rand.New(rand.NewSource(1))
 
 	// Build streams chunks straight to disk — the full S never exists in
@@ -52,33 +59,44 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fk := make([]int32, nS)
-	for i := range fk {
-		fk[i] = int32(rng.Intn(nR))
+	buildFK := func(nR int) *chunk.IntVector {
+		fk := make([]int32, nS)
+		for i := range fk {
+			fk[i] = int32(rng.Intn(nR))
+		}
+		v, err := chunk.BuildIntVector(store, fk, chunkRows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return v
 	}
-	fkv, err := chunk.BuildIntVector(store, fk, chunkRows)
+	r1 := la.NewDense(nR1, dR1)
+	for i := range r1.Data() {
+		r1.Data()[i] = rng.NormFloat64()
+	}
+	b := la.NewCSRBuilder(nR2, dR2)
+	for i := 0; i < nR2; i++ {
+		b.Add(i, rng.Intn(dR2), 1) // one-hot attribute rows
+	}
+	r2 := b.Build()
+	nt, err := chunk.NewStarTable(sM, []chunk.AttrTable{
+		{FK: buildFK(nR1), R: r1},
+		{FK: buildFK(nR2), R: r2},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	r := la.NewDense(nR, dR)
-	for i := range r.Data() {
-		r.Data()[i] = rng.NormFloat64()
-	}
-	nt, err := chunk.NewNormalizedTable(sM, fkv, r)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("spilled S (%d×%d, %.1f MB) + keys in %v; logical T is %d×%d\n",
+	fmt.Printf("spilled S (%d×%d, %.1f MB) + 2 key columns in %v; logical star T is %d×%d; AutoRows(%d MB) chose %d-row chunks\n",
 		nS, dS, float64(sM.BytesOnDisk())/(1<<20), time.Since(start).Round(time.Millisecond),
-		nt.Rows(), nt.Cols())
+		nt.Rows(), nt.Cols(), memBudget>>20, chunkRows)
 
 	y := la.NewDense(nS, 1)
 	for i := range y.Data() {
 		y.Data()[i] = float64(1 - 2*rng.Intn(2))
 	}
 
-	// Factorized GLM over the chunked base tables: serial vs parallel.
-	const iters = 3
+	// Factorized GLM over the chunked star: serial vs parallel.
+	const iters = 2
 	t0 := time.Now()
 	serial, err := chunk.LogRegFactorizedExec(chunk.Serial, nt, y, iters, 1e-6)
 	if err != nil {
@@ -86,29 +104,62 @@ func main() {
 	}
 	serialT := time.Since(t0)
 	t0 = time.Now()
-	parallel, err := chunk.LogRegFactorizedExec(chunk.Parallel(), nt, y, iters, 1e-6)
+	parallel, err := chunk.LogRegFactorizedExec(ex, nt, y, iters, 1e-6)
 	if err != nil {
 		log.Fatal(err)
 	}
 	parallelT := time.Since(t0)
-	fmt.Printf("factorized GLM ×%d: serial %v, parallel %v (%d workers) — speedup %.2f×, weights identical: %v\n",
+	fmt.Printf("factorized star GLM ×%d: serial %v, parallel %v (%d workers) — speedup %.2f×, weights identical: %v\n",
 		iters, serialT.Round(time.Millisecond), parallelT.Round(time.Millisecond),
 		runtime.GOMAXPROCS(0), float64(serialT)/float64(parallelT),
 		la.MaxAbsDiff(serial.W, parallel.W) == 0)
 
-	// Streamed factorized operators (internal/core): TᵀT without ever
-	// materializing T.
+	// A one-hot sparse table trains through the same chunk.Mat interface:
+	// CSR chunks pay I/O per non-zero, not per cell.
+	sparseT, err := buildOneHot(store, rng, nS, 512, chunk.AutoRows(memBudget, 512, ex.Workers, ex.Prefetch))
+	if err != nil {
+		log.Fatal(err)
+	}
 	t0 = time.Now()
-	ctc, err := core.StreamedCrossProd(chunk.Parallel(), nt)
+	resSparse, err := chunk.LogRegMaterializedExec(ex, sparseT, y, iters, 1e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sparse one-hot GLM ×%d over CSR chunks: %v, %.1f MB read (dense equivalent would read %.1f MB)\n",
+		iters, time.Since(t0).Round(time.Millisecond),
+		float64(resSparse.BytesRead)/(1<<20),
+		float64(iters)*float64(nS)*512*8/(1<<20))
+	if err := sparseT.Free(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Streamed factorized operators (internal/core): TᵀT of the star
+	// without ever materializing T.
+	t0 = time.Now()
+	ctc, err := core.StreamedCrossProd(ex, nt)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("streamed crossprod(T): %d×%d in %v, trace %.1f\n",
 		ctc.Rows(), ctc.Cols(), time.Since(t0).Round(time.Millisecond), trace(ctc))
 
+	// Streamed k-means: per-iteration distance + argmin passes over the
+	// chunks, centroid reduction through the ordered-commit pipeline, and
+	// a chunked assignment column that never sits in memory.
+	t0 = time.Now()
+	km, err := chunk.KMeansExec(ex, sM, 8, 3, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed k-means (k=8, 3 iters): %v, objective %.1f, assignments stored as %d chunked rows\n",
+		time.Since(t0).Round(time.Millisecond), km.Objective, km.Assign.Rows())
+	if err := km.Assign.Free(); err != nil {
+		log.Fatal(err)
+	}
+
 	// Spill-file lifecycle: intermediates are refcounted; Free releases
 	// them as soon as the pipeline is done with them.
-	prod, err := core.StreamedMul(chunk.Parallel(), nt, la.Ones(nt.Cols(), 2))
+	prod, err := core.StreamedMul(ex, nt, la.Ones(nt.Cols(), 2))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -134,6 +185,16 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("after Free + Close: %d files left in the store directory\n", len(left))
+}
+
+// buildOneHot spills an n×cols CSR table with one 1 per row, never holding
+// the whole matrix in memory more than once.
+func buildOneHot(store *chunk.Store, rng *rand.Rand, n, cols, chunkRows int) (*chunk.SparseMatrix, error) {
+	b := la.NewCSRBuilder(n, cols)
+	for i := 0; i < n; i++ {
+		b.Add(i, rng.Intn(cols), 1)
+	}
+	return chunk.FromCSR(store, b.Build(), chunkRows)
 }
 
 func trace(m *la.Dense) float64 {

@@ -164,6 +164,9 @@ func (m *Matrix) NumChunks() int { return len(m.paths) }
 // ChunkRows reports the chunk height.
 func (m *Matrix) ChunkRows() int { return m.chunkRows }
 
+// Store returns the chunk store backing this matrix.
+func (m *Matrix) Store() *Store { return m.store }
+
 // Free releases the matrix's chunk files (deleting each once no other
 // Retain-ed handle references it). Freeing is idempotent; streaming a
 // freed matrix fails with ErrFreed. Free is not safe to race with an
@@ -335,15 +338,16 @@ func (m *Matrix) MapChunks(ex Exec, mapFn func(ci, lo int, c *la.Dense) (any, er
 
 // MapChunksToMatrix streams every chunk through f and spills the per-chunk
 // results (which must all have outCols columns and preserve the row count)
-// as a new chunked matrix. Chunks are computed and written concurrently
-// under ex; output chunk files keep the input's chunk order. On failure
-// every output chunk written so far is removed and no matrix is
-// registered.
+// as a new chunked matrix. Under a pipelined execution the spills go
+// through the dedicated write-behind stage, so output I/O overlaps compute;
+// output chunk files keep the input's chunk order and are byte-identical to
+// a serial pass. On failure every output chunk written so far is removed
+// and no matrix is registered.
 func (m *Matrix) MapChunksToMatrix(ex Exec, outCols int, f func(ci, lo int, c *la.Dense) (*la.Dense, error)) (*Matrix, error) {
 	if m.freed {
 		return nil, ErrFreed
 	}
-	paths, err := m.store.alloc(len(m.paths))
+	sp, err := newOutputSpiller(m.store, len(m.paths), ex)
 	if err != nil {
 		return nil, err
 	}
@@ -355,13 +359,29 @@ func (m *Matrix) MapChunksToMatrix(ex Exec, outCols int, f func(ci, lo int, c *l
 		if out.Rows() != c.Rows() || out.Cols() != outCols {
 			return nil, fmt.Errorf("chunk: mapped chunk is %dx%d, want %dx%d", out.Rows(), out.Cols(), c.Rows(), outCols)
 		}
-		return nil, writeChunk(paths[ci], out)
+		return nil, sp.emit(ci, out)
 	}, nil)
+	paths, err := sp.finish(err)
 	if err != nil {
-		m.store.release(paths)
 		return nil, err
 	}
 	return &Matrix{store: m.store, rows: m.rows, cols: outCols, chunkRows: m.chunkRows, paths: paths}, nil
+}
+
+// Stream implements Mat: the chunk pipeline with each decoded chunk
+// delivered as an la.Mat.
+func (m *Matrix) Stream(ex Exec, mapFn func(ci, lo int, c la.Mat) (any, error), commit func(ci int, v any) error) error {
+	return m.pipeline(ex, func(ci, lo int, c *la.Dense) (any, error) {
+		return mapFn(ci, lo, c)
+	}, commit)
+}
+
+// StreamToMatrix implements Mat: MapChunksToMatrix with the chunk exposed
+// as an la.Mat.
+func (m *Matrix) StreamToMatrix(ex Exec, outCols int, f func(ci, lo int, c la.Mat) (*la.Dense, error)) (*Matrix, error) {
+	return m.MapChunksToMatrix(ex, outCols, func(ci, lo int, c *la.Dense) (*la.Dense, error) {
+		return f(ci, lo, c)
+	})
 }
 
 // Dense loads the whole matrix into memory (tests and small data only).

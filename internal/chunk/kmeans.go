@@ -1,0 +1,154 @@
+package chunk
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/la"
+)
+
+// KMeansResult holds the fitted centroids, the chunked assignment column,
+// and the observed I/O volume.
+type KMeansResult struct {
+	// Centroids is d×k, matching ml.KMeans.
+	Centroids *la.Dense
+	// Assign is the n×1 chunked cluster-id column, aligned with the input
+	// table's chunking — the assignment vector itself stays out-of-core.
+	Assign *Matrix
+	// Objective is the final sum of squared distances to assigned
+	// centroids.
+	Objective float64
+	// BytesRead tallies the chunk bytes streamed across all passes.
+	BytesRead int64
+}
+
+// KMeans clusters the rows of a chunked table (Algorithm 15 run
+// out-of-core) with the parallel engine. See KMeansExec.
+func KMeans(t Mat, k, iters int, seed int64) (*KMeansResult, error) {
+	return KMeansExec(Parallel(), t, k, iters, seed)
+}
+
+// kmPart is one chunk's contribution to a k-means iteration: the partial
+// centroid numerators Tᵀ·A and cluster counts.
+type kmPart struct {
+	sums   *la.Dense
+	counts []float64
+	bytes  int64
+}
+
+// KMeansExec runs streamed k-means under the given execution. Each
+// iteration is one pass over the chunks: workers expand the pairwise
+// squared distances ‖t_i‖² + ‖c_j‖² − 2·t_i·c_j from a per-chunk T·C
+// product, take the per-row argmin (ties toward the lowest cluster index,
+// like ml.KMeans), and produce the chunk's centroid partials chunkᵀ·A; the
+// committer reduces the partials in chunk order, so centroids are
+// bit-identical for every Exec. Empty clusters keep their previous
+// centroid. A final pass gathers the argmin per row into a chunked
+// assignment column through the write-behind spiller and accumulates the
+// objective, again in chunk order.
+func KMeansExec(ex Exec, t Mat, k, iters int, seed int64) (*KMeansResult, error) {
+	n, d := t.Rows(), t.Cols()
+	if k <= 0 {
+		return nil, fmt.Errorf("chunk: k must be positive, got %d", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("chunk: k=%d exceeds %d points", k, n)
+	}
+	if iters <= 0 {
+		return nil, fmt.Errorf("chunk: iters must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := la.NewDense(d, k)
+	for i := range c.Data() {
+		c.Data()[i] = rng.NormFloat64()
+	}
+	var bytesRead int64
+
+	for it := 0; it < iters; it++ {
+		cNorm := c.PowDense(2).ColSumsVec()
+		sums := la.NewDense(d, k)
+		counts := make([]float64, k)
+		err := t.Stream(ex, func(ci, lo int, ch la.Mat) (any, error) {
+			rows := ch.Rows()
+			tc := ch.Mul(c) // rows×k (LMM)
+			dt := rowSquaredNorms(ch)
+			a := la.NewDense(rows, k)
+			for i := 0; i < rows; i++ {
+				row := tc.Row(i)
+				best, bestD := 0, dt[i]+cNorm[0]-2*row[0]
+				for j := 1; j < k; j++ {
+					if dd := dt[i] + cNorm[j] - 2*row[j]; dd < bestD {
+						best, bestD = j, dd
+					}
+				}
+				a.Set(i, best, 1)
+			}
+			return kmPart{sums: ch.TMul(a), counts: a.ColSumsVec(), bytes: EncodedBytes(ch)}, nil
+		}, func(ci int, v any) error {
+			pt := v.(kmPart)
+			sums.AddInPlace(pt.sums)
+			for j, cv := range pt.counts {
+				counts[j] += cv
+			}
+			bytesRead += pt.bytes
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < k; j++ {
+			if counts[j] == 0 {
+				continue
+			}
+			for i := 0; i < d; i++ {
+				c.Set(i, j, sums.At(i, j)/counts[j])
+			}
+		}
+	}
+
+	// Final pass: argmin gather into the chunked assignment column plus
+	// the objective, committed in chunk order.
+	cNorm := c.PowDense(2).ColSumsVec()
+	sp, err := newOutputSpiller(t.Store(), t.NumChunks(), ex)
+	if err != nil {
+		return nil, err
+	}
+	type assignPart struct {
+		obj   float64
+		bytes int64
+	}
+	objective := 0.0
+	err = t.Stream(ex, func(ci, lo int, ch la.Mat) (any, error) {
+		rows := ch.Rows()
+		tc := ch.Mul(c)
+		dt := rowSquaredNorms(ch)
+		out := la.NewDense(rows, 1)
+		obj := 0.0
+		for i := 0; i < rows; i++ {
+			row := tc.Row(i)
+			best, bestD := 0, dt[i]+cNorm[0]-2*row[0]
+			for j := 1; j < k; j++ {
+				if dd := dt[i] + cNorm[j] - 2*row[j]; dd < bestD {
+					best, bestD = j, dd
+				}
+			}
+			out.Set(i, 0, float64(best))
+			obj += bestD
+		}
+		if err := sp.emit(ci, out); err != nil {
+			return nil, err
+		}
+		return assignPart{obj: obj, bytes: EncodedBytes(ch)}, nil
+	}, func(ci int, v any) error {
+		pt := v.(assignPart)
+		objective += pt.obj
+		bytesRead += pt.bytes
+		return nil
+	})
+	paths, err := sp.finish(err)
+	if err != nil {
+		return nil, err
+	}
+	assign := &Matrix{store: t.Store(), rows: n, cols: 1, chunkRows: t.ChunkRows(), paths: paths}
+	return &KMeansResult{Centroids: c, Assign: assign, Objective: objective, BytesRead: bytesRead}, nil
+}

@@ -7,86 +7,6 @@ import (
 	"repro/internal/la"
 )
 
-// IntVector is an on-disk chunked int32 column (the foreign-key column of
-// the out-of-core entity table). It reuses the float64 chunk files,
-// storing keys as exact small floats.
-type IntVector struct {
-	m *Matrix
-}
-
-// BuildIntVector spills a foreign-key column chunk-aligned with rows.
-func BuildIntVector(store *Store, keys []int32, chunkRows int) (*IntVector, error) {
-	m, err := Build(store, len(keys), 1, chunkRows, func(lo, hi int, dst *la.Dense) {
-		for i := lo; i < hi; i++ {
-			dst.Set(i-lo, 0, float64(keys[i]))
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &IntVector{m: m}, nil
-}
-
-// Rows reports the number of keys.
-func (v *IntVector) Rows() int { return v.m.rows }
-
-// Keys reads chunk ci and returns its first-row offset plus the decoded
-// keys. It is safe to call concurrently (each call reads its own chunk),
-// which lets parallel pipelines over an aligned Matrix fetch the matching
-// key chunk from inside their workers.
-func (v *IntVector) Keys(ci int) (lo int, keys []int32, err error) {
-	lo, hi := v.m.chunkBounds(ci)
-	c, err := readChunk(v.m.paths[ci], hi-lo, 1)
-	if err != nil {
-		return 0, nil, err
-	}
-	keys = make([]int32, hi-lo)
-	for i, f := range c.Data() {
-		keys[i] = int32(f)
-	}
-	return lo, keys, nil
-}
-
-// Free releases the vector's chunk files.
-func (v *IntVector) Free() error { return v.m.Free() }
-
-// NormalizedTable is the out-of-core normalized matrix for a single PK-FK
-// join at ORE scale: the entity table S and its foreign-key column live in
-// chunked storage, the (much smaller) attribute table R stays in memory.
-// For M:N joins (Table 10), S and R base tables stay on disk and the
-// indicator assignments are chunk-streamed the same way.
-type NormalizedTable struct {
-	S  *Matrix    // nS×dS on disk
-	FK *IntVector // nS×1 on disk, aligned with S's chunking
-	R  *la.Dense  // nR×dR in memory
-}
-
-// NewNormalizedTable validates chunk alignment between S and FK.
-func NewNormalizedTable(s *Matrix, fk *IntVector, r *la.Dense) (*NormalizedTable, error) {
-	if s.rows != fk.m.rows {
-		return nil, fmt.Errorf("chunk: S has %d rows but FK has %d", s.rows, fk.m.rows)
-	}
-	if s.chunkRows != fk.m.chunkRows {
-		return nil, fmt.Errorf("chunk: S chunked by %d rows but FK by %d", s.chunkRows, fk.m.chunkRows)
-	}
-	return &NormalizedTable{S: s, FK: fk, R: r}, nil
-}
-
-// Rows reports the join output row count (= nS for a PK-FK join).
-func (nt *NormalizedTable) Rows() int { return nt.S.rows }
-
-// Cols reports the logical column count dS+dR of the joined table.
-func (nt *NormalizedTable) Cols() int { return nt.S.cols + nt.R.Cols() }
-
-// Free releases the on-disk base table and key column.
-func (nt *NormalizedTable) Free() error {
-	err := nt.S.Free()
-	if e := nt.FK.Free(); err == nil {
-		err = e
-	}
-	return err
-}
-
 // LogRegResult reports the fitted weights and observed I/O volume, the
 // quantity that separates M from F at ORE scale.
 type LogRegResult struct {
@@ -95,10 +15,11 @@ type LogRegResult struct {
 }
 
 // LogRegMaterialized runs the standard logistic regression (Algorithm 3)
-// over the chunked materialized table T with the parallel engine,
-// streaming all nS·(dS+dR) cells from disk every iteration — the ORE
-// baseline of Table 9.
-func LogRegMaterialized(t *Matrix, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
+// over any chunked materialized table — dense or CSR — with the parallel
+// engine, streaming every stored cell from disk each iteration: the ORE
+// baseline of Table 9, and the sparse one-hot shapes of Table 6 when t is
+// a *SparseMatrix.
+func LogRegMaterialized(t Mat, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
 	return LogRegMaterializedExec(Parallel(), t, y, iters, alpha)
 }
 
@@ -112,25 +33,25 @@ type matPart struct {
 // under the given execution. Per-chunk gradients are computed on the
 // workers and accumulated in chunk order, so results are identical for
 // every Exec.
-func LogRegMaterializedExec(ex Exec, t *Matrix, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
-	if y.Rows() != t.rows || y.Cols() != 1 {
-		return nil, fmt.Errorf("chunk: labels are %dx%d, want %dx1", y.Rows(), y.Cols(), t.rows)
+func LogRegMaterializedExec(ex Exec, t Mat, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
+	if y.Rows() != t.Rows() || y.Cols() != 1 {
+		return nil, fmt.Errorf("chunk: labels are %dx%d, want %dx1", y.Rows(), y.Cols(), t.Rows())
 	}
 	if iters <= 0 {
 		return nil, fmt.Errorf("chunk: iters must be positive")
 	}
-	d := t.cols
+	d := t.Cols()
 	w := la.NewDense(d, 1)
 	var bytesRead int64
 	for it := 0; it < iters; it++ {
 		grad := la.NewDense(d, 1)
-		err := t.pipeline(ex, func(ci, lo int, c *la.Dense) (any, error) {
-			tw := la.MatMul(c, w)
+		err := t.Stream(ex, func(ci, lo int, c la.Mat) (any, error) {
+			tw := c.Mul(w)
 			p := la.NewDense(c.Rows(), 1)
 			for i := 0; i < c.Rows(); i++ {
 				p.Set(i, 0, y.At(lo+i, 0)/(1+math.Exp(tw.At(i, 0))))
 			}
-			return matPart{grad: la.TMatMul(c, p), bytes: int64(c.Rows()) * int64(c.Cols()) * 8}, nil
+			return matPart{grad: c.TMul(p), bytes: EncodedBytes(c)}, nil
 		}, func(ci int, v any) error {
 			pt := v.(matPart)
 			grad.AddInPlace(pt.grad)
@@ -146,20 +67,20 @@ func LogRegMaterializedExec(ex Exec, t *Matrix, y *la.Dense, iters int, alpha fl
 }
 
 // LogRegFactorized runs the factorized logistic regression (Algorithm 4)
-// over the out-of-core normalized table with the parallel engine: per
-// iteration it reads only the base table S (plus the key column) from disk
-// and computes the R-side partial products in memory — the
-// Morpheus-on-ORE configuration.
+// over the out-of-core star with the parallel engine: per iteration it
+// reads only the base table S (plus the key columns) from disk and
+// computes the R-side partial products in memory — the Morpheus-on-ORE
+// configuration, generalized to any number of attribute tables.
 func LogRegFactorized(nt *NormalizedTable, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
 	return LogRegFactorizedExec(Parallel(), nt, y, iters, alpha)
 }
 
-// factPart is one chunk's contribution to a factorized-GLM iteration: the
-// S-side partial gradient plus the per-row coefficients and keys needed
-// for the (serial, ordered) R-side scatter.
-type factPart struct {
+// starPart is one chunk's contribution to a factorized-GLM iteration: the
+// S-side partial gradient plus the per-row coefficients and per-table keys
+// needed for the (serial, ordered) R-side scatters.
+type starPart struct {
 	gradS *la.Dense
-	keys  []int32
+	keys  [][]int32
 	coef  []float64
 	bytes int64
 }
@@ -169,44 +90,53 @@ type factPart struct {
 // R-side scatter-adds run in chunk order on the committer, keeping results
 // identical for every Exec.
 func LogRegFactorizedExec(ex Exec, nt *NormalizedTable, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
-	nS, dS := nt.S.rows, nt.S.cols
-	dR := nt.R.Cols()
+	nS, dS := nt.S.Rows(), nt.S.Cols()
+	offs := nt.ColOffsets()
+	q := len(nt.Attrs)
 	if y.Rows() != nS || y.Cols() != 1 {
 		return nil, fmt.Errorf("chunk: labels are %dx%d, want %dx1", y.Rows(), y.Cols(), nS)
 	}
 	if iters <= 0 {
 		return nil, fmt.Errorf("chunk: iters must be positive")
 	}
-	w := la.NewDense(dS+dR, 1)
+	w := la.NewDense(nt.Cols(), 1)
 	var bytesRead int64
 	for it := 0; it < iters; it++ {
 		wS := la.NewDenseData(dS, 1, w.Data()[:dS])
-		wR := la.NewDenseData(dR, 1, w.Data()[dS:])
-		rw := la.MatMul(nt.R, wR) // partial inner products, in memory
+		rw := make([]*la.Dense, q) // per-table partial inner products, in memory
+		scatter := make([][]float64, q)
+		for t, a := range nt.Attrs {
+			rw[t] = a.R.Mul(la.NewDenseData(a.R.Cols(), 1, w.Data()[offs[t]:offs[t+1]]))
+			scatter[t] = make([]float64, a.R.Rows())
+		}
 		gradS := la.NewDense(dS, 1)
-		scatter := make([]float64, nt.R.Rows())
-		err := nt.S.pipeline(ex, func(ci, lo int, c *la.Dense) (any, error) {
-			_, keys, err := nt.FK.Keys(ci)
+		err := nt.S.Stream(ex, func(ci, lo int, c la.Mat) (any, error) {
+			keys, err := nt.ChunkKeys(ci)
 			if err != nil {
 				return nil, err
 			}
-			sw := la.MatMul(c, wS)
+			sw := c.Mul(wS)
 			coef := make([]float64, c.Rows())
 			for i := range coef {
-				inner := sw.At(i, 0) + rw.At(int(keys[i]), 0)
+				inner := sw.At(i, 0)
+				for t := range keys {
+					inner += rw[t].At(int(keys[t][i]), 0)
+				}
 				coef[i] = y.At(lo+i, 0) / (1 + math.Exp(inner))
 			}
-			return factPart{
-				gradS: la.TMatMul(c, la.ColVector(coef)),
+			return starPart{
+				gradS: c.TMul(la.ColVector(coef)),
 				keys:  keys,
 				coef:  coef,
-				bytes: int64(c.Rows())*int64(c.Cols())*8 + int64(c.Rows())*8,
+				bytes: EncodedBytes(c) + int64(q)*int64(c.Rows())*8,
 			}, nil
 		}, func(ci int, v any) error {
-			pt := v.(factPart)
+			pt := v.(starPart)
 			gradS.AddInPlace(pt.gradS)
-			for i, rid := range pt.keys {
-				scatter[rid] += pt.coef[i]
+			for t := range pt.keys {
+				for i, rid := range pt.keys[t] {
+					scatter[t][rid] += pt.coef[i]
+				}
 			}
 			bytesRead += pt.bytes
 			return nil
@@ -214,12 +144,14 @@ func LogRegFactorizedExec(ex Exec, nt *NormalizedTable, y *la.Dense, iters int, 
 		if err != nil {
 			return nil, err
 		}
-		gradR := la.TMatMul(nt.R, la.ColVector(scatter)) // Rᵀ·(Kᵀp)
 		for j := 0; j < dS; j++ {
 			w.Set(j, 0, w.At(j, 0)+alpha*gradS.At(j, 0))
 		}
-		for j := 0; j < dR; j++ {
-			w.Set(dS+j, 0, w.At(dS+j, 0)+alpha*gradR.At(j, 0))
+		for t, a := range nt.Attrs {
+			gradR := a.R.TMul(la.ColVector(scatter[t])) // R_tᵀ·(K_tᵀp)
+			for j := 0; j < a.R.Cols(); j++ {
+				w.Set(offs[t]+j, 0, w.At(offs[t]+j, 0)+alpha*gradR.At(j, 0))
+			}
 		}
 	}
 	return &LogRegResult{W: w, BytesRead: bytesRead}, nil

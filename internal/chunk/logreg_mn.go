@@ -19,13 +19,21 @@ type MNTable struct {
 	IR *IntVector // |T'|×1
 }
 
-// NewMNTable validates the selector alignment.
+// NewMNTable validates the selector alignment and key ranges.
 func NewMNTable(s, r *Matrix, is, ir *IntVector) (*MNTable, error) {
 	if is.m.rows != ir.m.rows {
 		return nil, fmt.Errorf("chunk: IS has %d rows but IR has %d", is.m.rows, ir.m.rows)
 	}
 	if is.m.chunkRows != ir.m.chunkRows {
 		return nil, fmt.Errorf("chunk: IS chunked by %d rows but IR by %d", is.m.chunkRows, ir.m.chunkRows)
+	}
+	if is.m.rows > 0 {
+		if is.minKey < 0 || int(is.maxKey) >= s.rows {
+			return nil, fmt.Errorf("chunk: IS keys span [%d,%d] but S has %d rows", is.minKey, is.maxKey, s.rows)
+		}
+		if ir.minKey < 0 || int(ir.maxKey) >= r.rows {
+			return nil, fmt.Errorf("chunk: IR keys span [%d,%d] but R has %d rows", ir.minKey, ir.maxKey, r.rows)
+		}
 	}
 	return &MNTable{S: s, R: r, IS: is, IR: ir}, nil
 }

@@ -1,0 +1,139 @@
+package chunk
+
+import (
+	"runtime"
+
+	"repro/internal/la"
+)
+
+// Mat is the chunked-operand interface: the out-of-core mirror of la.Mat.
+// Both chunked storage backends — dense (*Matrix) and CSR (*SparseMatrix)
+// — implement it, so every consumer (the GLM drivers, the streamed
+// factorized operators in internal/core, the chunked k-means) is written
+// once and runs over either representation, exactly as the in-memory
+// rewrites are written once against la.Mat.
+//
+// Stream is the fused-pass primitive: it delivers each decoded chunk as an
+// la.Mat (concretely *la.Dense or *la.CSR), which carries the full Table 1
+// operator set, while commit receives per-chunk results strictly in chunk
+// order — reductions stay bit-identical for every Exec. The coarse-grained
+// whole-matrix operators (MulExec, TMulExec, ...) are built on it.
+type Mat interface {
+	Rows() int
+	Cols() int
+	NumChunks() int
+	ChunkRows() int
+	BytesOnDisk() int64
+	Store() *Store
+	Free() error
+
+	// Stream runs the chunk pipeline under ex: mapFn on the workers with
+	// the decoded chunk and its first-row offset, commit on the calling
+	// goroutine in ascending chunk order.
+	Stream(ex Exec, mapFn func(ci, lo int, c la.Mat) (any, error), commit func(ci int, v any) error) error
+	// StreamToMatrix maps every chunk to a dense output chunk (same row
+	// count, outCols columns) and spills the results as a new chunked
+	// matrix aligned with the input's chunking.
+	StreamToMatrix(ex Exec, outCols int, f func(ci, lo int, c la.Mat) (*la.Dense, error)) (*Matrix, error)
+
+	// Whole-matrix operators, mirroring la.Mat's Mul/TMul/CrossProd/
+	// ColSums/Sum under an explicit execution.
+	MulExec(ex Exec, x *la.Dense) (*Matrix, error)
+	TMulExec(ex Exec, x *la.Dense) (*la.Dense, error)
+	CrossProdExec(ex Exec) (*la.Dense, error)
+	ColSumsExec(ex Exec) (*la.Dense, error)
+	SumExec(ex Exec) (float64, error)
+}
+
+var (
+	_ Mat = (*Matrix)(nil)
+	_ Mat = (*SparseMatrix)(nil)
+)
+
+// EncodedBytes reports the on-disk size of one decoded chunk — the I/O a
+// streaming pass pays to load it. Dense chunks store rows×cols float64s;
+// CSR chunks follow sparseChunkBytes.
+func EncodedBytes(c la.Mat) int64 {
+	switch t := c.(type) {
+	case *la.CSR:
+		return sparseChunkBytes(t.Rows(), int64(t.NNZ()))
+	default:
+		return int64(c.Rows()) * int64(c.Cols()) * 8
+	}
+}
+
+// AutoRows picks a chunk height from a memory budget: the pipeline keeps at
+// most workers+prefetch+1 decoded input chunks resident (admission tickets,
+// see runPipeline), so the chunk height that fills memBudgetBytes is
+//
+//	chunkRows = memBudgetBytes / ((workers+prefetch+1) · cols · 8)
+//
+// clamped to [64, 1<<20]. workers<=0 means GOMAXPROCS, matching Exec;
+// prefetch<0 means 0. Use it instead of hard-coding chunk heights: it keeps
+// the same pass under the same budget whether the table is wide or narrow
+// and whether one worker or thirty-two are running.
+//
+// The budget covers the decoded *input* chunks. Passes that spill a chunked
+// output (StreamToMatrix, Mul, Scale, ...) additionally hold up to
+// workers+spillQueueDepth+1 output chunks (one per busy worker plus the
+// bounded write-behind queue); when the output is as wide as the input,
+// size the budget for roughly twice the pass's input residency.
+func AutoRows(memBudgetBytes int64, cols, workers, prefetch int) int {
+	const (
+		minRows = 64
+		maxRows = 1 << 20
+	)
+	if cols <= 0 {
+		cols = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if prefetch < 0 {
+		prefetch = 0
+	}
+	resident := int64(workers+prefetch+1) * int64(cols) * 8
+	rows := memBudgetBytes / resident
+	if rows < minRows {
+		return minRows
+	}
+	if rows > maxRows {
+		return maxRows
+	}
+	return int(rows)
+}
+
+// rowSquaredNorms returns the per-row sums of squares of one chunk (the
+// point norms of the k-means distance expansion), with a sparse fast path.
+func rowSquaredNorms(c la.Mat) []float64 {
+	out := make([]float64, c.Rows())
+	switch t := c.(type) {
+	case *la.Dense:
+		for i := range out {
+			s := 0.0
+			for _, v := range t.Row(i) {
+				s += v * v
+			}
+			out[i] = s
+		}
+	case *la.CSR:
+		for i := range out {
+			_, vals := t.RowNNZ(i)
+			s := 0.0
+			for _, v := range vals {
+				s += v * v
+			}
+			out[i] = s
+		}
+	default:
+		for i := range out {
+			s := 0.0
+			for j := 0; j < c.Cols(); j++ {
+				v := c.At(i, j)
+				s += v * v
+			}
+			out[i] = s
+		}
+	}
+	return out
+}

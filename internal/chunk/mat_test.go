@@ -1,0 +1,229 @@
+package chunk
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/la"
+	"repro/internal/ml"
+)
+
+// TestSparseChunkedGLMMatchesInMemoryCSR pins the materialized chunked GLM
+// over CSR chunks (the Table 6 one-hot shapes, now trainable out-of-core
+// through chunk.Mat) to the in-memory CSR run, bit-determinism across
+// executions included.
+func TestSparseChunkedGLMMatchesInMemoryCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	store := testStore(t)
+	const n, groups, gw, chunkRows = 300, 4, 6, 32
+	c := oneHotCSR(rng, n, groups, gw)
+	y := pmLabels(rng, n)
+	const iters, alpha = 8, 1e-3
+
+	sm, err := FromCSR(store, c, chunkRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := LogRegMaterializedExec(Serial, sm, y, iters, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := LogRegMaterializedExec(parExec, sm, y, iters, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.MaxAbsDiff(serial.W, parallel.W) != 0 {
+		t.Fatal("sparse chunked GLM: parallel weights not bit-identical to serial")
+	}
+	wRef, err := ml.LogisticRegressionGD(c, y, nil, ml.Options{Iters: iters, StepSize: alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := la.MaxAbsDiff(parallel.W, wRef); diff > 1e-12 {
+		t.Fatalf("sparse chunked GLM deviates from in-memory CSR by %g", diff)
+	}
+
+	// The sparse chunks must pay I/O proportional to nnz, far below the
+	// dense encoding of the same one-hot table.
+	dm, err := FromDense(store, c.Dense(), chunkRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := LogRegMaterializedExec(parExec, dm, y, iters, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := la.MaxAbsDiff(dense.W, wRef); diff > 1e-12 {
+		t.Fatalf("dense chunked GLM deviates from in-memory CSR by %g", diff)
+	}
+	if serial.BytesRead >= dense.BytesRead {
+		t.Fatalf("sparse chunks read %d bytes, dense %d — no sparse I/O saving", serial.BytesRead, dense.BytesRead)
+	}
+}
+
+// TestMatInterfaceOps drives the shared operator surface through the Mat
+// interface for both backends and pins it to the in-memory results.
+func TestMatInterfaceOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	store := testStore(t)
+	d := randDense(rng, 75, 6)
+	dm, err := FromDense(store, d, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := oneHotCSR(rng, 75, 2, 3)
+	cm, err := FromCSR(store, c, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tc := range map[string]struct {
+		m    Mat
+		mem  la.Mat
+		cols int
+	}{
+		"dense":  {m: dm, mem: d, cols: d.Cols()},
+		"sparse": {m: cm, mem: c, cols: c.Cols()},
+	} {
+		x := randDense(rng, tc.cols, 3)
+		mul, err := tc.m.MulExec(parExec, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mulD, err := mul.Dense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := la.MaxAbsDiff(mulD, tc.mem.Mul(x)); diff > 1e-12 {
+			t.Fatalf("%s Mat.Mul deviates by %g", name, diff)
+		}
+		xt := randDense(rng, 75, 2)
+		tm, err := tc.m.TMulExec(parExec, xt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := la.MaxAbsDiff(tm, tc.mem.TMul(xt)); diff > 1e-12 {
+			t.Fatalf("%s Mat.TMul deviates by %g", name, diff)
+		}
+		cp, err := tc.m.CrossProdExec(parExec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := la.MaxAbsDiff(cp, tc.mem.CrossProd()); diff > 1e-12 {
+			t.Fatalf("%s Mat.CrossProd deviates by %g", name, diff)
+		}
+		cs, err := tc.m.ColSumsExec(parExec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := la.MaxAbsDiff(cs, tc.mem.ColSums()); diff > 1e-12 {
+			t.Fatalf("%s Mat.ColSums deviates by %g", name, diff)
+		}
+		sum, err := tc.m.SumExec(Serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := sum - tc.mem.Sum(); diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("%s Mat.Sum deviates by %g", name, diff)
+		}
+	}
+}
+
+// TestWriteBehindBitIdentical pins spilled outputs of the asynchronous
+// write-behind path to the synchronous serial path, for both backends.
+func TestWriteBehindBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	store := testStore(t)
+	d := randDense(rng, 90, 5)
+	m, err := FromDense(store, d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randDense(rng, 5, 3)
+	serialOut, err := m.MulExec(Serial, x) // synchronous writes
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOut, err := m.MulExec(parExec, x) // write-behind stage
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := serialOut.Dense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := parOut.Dense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.MaxAbsDiff(sd, pd) != 0 {
+		t.Fatal("write-behind dense output not bit-identical to synchronous")
+	}
+
+	c := oneHotCSR(rng, 90, 3, 4)
+	cm, err := FromCSR(store, c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := randDense(rng, c.Cols(), 2)
+	serialS, err := cm.MulExec(Serial, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parS, err := cm.MulExec(parExec, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssd, err := serialS.Dense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	psd, err := parS.Dense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.MaxAbsDiff(ssd, psd) != 0 {
+		t.Fatal("write-behind sparse-source output not bit-identical to synchronous")
+	}
+}
+
+// TestAutoRows checks the budget arithmetic and the clamps.
+func TestAutoRows(t *testing.T) {
+	// 1 MiB over (4+3+1 resident chunks)·16 cols·8 B = 1024 rows.
+	if got := AutoRows(1<<20, 16, 4, 3); got != 1024 {
+		t.Fatalf("AutoRows(1MiB,16,4,3) = %d, want 1024", got)
+	}
+	// Tiny budgets clamp up to the floor.
+	if got := AutoRows(1, 1000, 8, 16); got != 64 {
+		t.Fatalf("tiny budget: got %d, want 64", got)
+	}
+	// Huge budgets clamp down to the ceiling.
+	if got := AutoRows(1<<50, 1, 1, 0); got != 1<<20 {
+		t.Fatalf("huge budget: got %d, want %d", got, 1<<20)
+	}
+	// Wider tables get shorter chunks under the same budget.
+	narrow := AutoRows(1<<24, 8, 4, 4)
+	wide := AutoRows(1<<24, 64, 4, 4)
+	if wide >= narrow {
+		t.Fatalf("wider table should get shorter chunks: narrow=%d wide=%d", narrow, wide)
+	}
+	// More workers get shorter chunks under the same budget.
+	few := AutoRows(1<<24, 16, 2, 2)
+	many := AutoRows(1<<24, 16, 16, 16)
+	if many >= few {
+		t.Fatalf("more workers should get shorter chunks: few=%d many=%d", few, many)
+	}
+}
+
+// TestEncodedBytes pins the per-chunk I/O accounting to the file formats.
+func TestEncodedBytes(t *testing.T) {
+	d := la.NewDense(10, 4)
+	if got := EncodedBytes(d); got != 10*4*8 {
+		t.Fatalf("dense EncodedBytes = %d, want %d", got, 10*4*8)
+	}
+	rng := rand.New(rand.NewSource(34))
+	c := oneHotCSR(rng, 10, 2, 3)
+	want := int64(8*(3+10+1) + 12*c.NNZ())
+	if got := EncodedBytes(c); got != want {
+		t.Fatalf("CSR EncodedBytes = %d, want %d", got, want)
+	}
+}

@@ -3,6 +3,8 @@ package chunk
 import (
 	"runtime"
 	"sync"
+
+	"repro/internal/la"
 )
 
 // Exec configures how a streaming pass executes. The zero value is
@@ -41,6 +43,130 @@ func (ex Exec) normalized() Exec {
 		ex.Prefetch = 0
 	}
 	return ex
+}
+
+// writeJob is one finished output chunk awaiting spill by the write-behind
+// stage.
+type writeJob struct {
+	path string
+	d    *la.Dense
+}
+
+// spillWriter is the dedicated write-behind stage: compute workers enqueue
+// finished output chunks onto a bounded queue and a single writer goroutine
+// spills them to disk, overlapping output I/O with compute the same way the
+// prefetching reader overlaps input I/O. enqueue blocks when the queue is
+// full, which bounds in-memory output-chunk residency at the queue depth.
+// After the first write error the writer keeps draining (so blocked
+// producers always make progress) but drops the jobs; the error surfaces on
+// every later enqueue and on close.
+type spillWriter struct {
+	jobs chan writeJob
+	done chan struct{}
+	mu   sync.Mutex
+	err  error
+}
+
+func newSpillWriter(depth int) *spillWriter {
+	if depth < 1 {
+		depth = 1
+	}
+	w := &spillWriter{jobs: make(chan writeJob, depth), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		for j := range w.jobs {
+			if w.firstErr() != nil {
+				continue
+			}
+			if err := writeChunk(j.path, j.d); err != nil {
+				w.setErr(err)
+			}
+		}
+	}()
+	return w
+}
+
+func (w *spillWriter) firstErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+func (w *spillWriter) setErr(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+func (w *spillWriter) enqueue(path string, d *la.Dense) error {
+	if err := w.firstErr(); err != nil {
+		return err
+	}
+	w.jobs <- writeJob{path: path, d: d}
+	return nil
+}
+
+// close waits for the queue to drain and reports the first write error.
+func (w *spillWriter) close() error {
+	close(w.jobs)
+	<-w.done
+	return w.firstErr()
+}
+
+// outputSpiller pairs freshly allocated output chunk paths with the writer
+// that spills mapped chunks to them: asynchronous (write-behind) whenever
+// the execution is pipelined, strictly synchronous for the Serial baseline
+// so the reference path stays read-compute-write. Output bytes are
+// identical either way — only the overlap changes.
+type outputSpiller struct {
+	store  *Store
+	paths  []string
+	writer *spillWriter // nil → synchronous writes
+}
+
+// spillQueueDepth bounds the write-behind queue. A small constant keeps
+// output-chunk residency tight — during a spill pass at most Workers
+// outputs are being computed plus spillQueueDepth+1 queued/being written —
+// while still decoupling the writer from bursty chunk completion.
+const spillQueueDepth = 2
+
+func newOutputSpiller(store *Store, n int, ex Exec) (*outputSpiller, error) {
+	paths, err := store.alloc(n)
+	if err != nil {
+		return nil, err
+	}
+	sp := &outputSpiller{store: store, paths: paths}
+	if nx := ex.normalized(); nx.Workers > 1 || nx.Prefetch > 0 {
+		sp.writer = newSpillWriter(spillQueueDepth)
+	}
+	return sp, nil
+}
+
+// emit spills chunk ci's output, possibly asynchronously. Safe for
+// concurrent use from pipeline workers.
+func (sp *outputSpiller) emit(ci int, out *la.Dense) error {
+	if sp.writer == nil {
+		return writeChunk(sp.paths[ci], out)
+	}
+	return sp.writer.enqueue(sp.paths[ci], out)
+}
+
+// finish drains the write-behind queue and combines its error with the
+// pipeline's. On any failure every output chunk written so far is released
+// and finish returns nil paths.
+func (sp *outputSpiller) finish(err error) ([]string, error) {
+	if sp.writer != nil {
+		if werr := sp.writer.close(); err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		sp.store.release(sp.paths)
+		return nil, err
+	}
+	return sp.paths, nil
 }
 
 // pipeRes is one mapped chunk result traveling from a worker to the

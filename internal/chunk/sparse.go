@@ -39,13 +39,26 @@ func (m *SparseMatrix) NNZ() int64 { return m.nnz }
 // NumChunks reports the chunk count.
 func (m *SparseMatrix) NumChunks() int { return len(m.paths) }
 
+// ChunkRows reports the chunk height.
+func (m *SparseMatrix) ChunkRows() int { return m.chunkRows }
+
+// Store returns the chunk store backing this matrix.
+func (m *SparseMatrix) Store() *Store { return m.store }
+
+// sparseChunkBytes is the on-disk size of one CSR chunk file: 3 header
+// words + rows+1 row pointers, then 4+8 bytes per non-zero. The single
+// source of truth for the layout that writeSparseChunk produces,
+// readSparseChunk validates, and the I/O accounting reports.
+func sparseChunkBytes(rows int, nnz int64) int64 {
+	return 8*int64(3+rows+1) + 12*nnz
+}
+
 // BytesOnDisk reports the storage footprint of all chunk files.
 func (m *SparseMatrix) BytesOnDisk() int64 {
-	// Per chunk: 3 header words + rows+1 pointers; per nnz: 4+8 bytes.
 	var b int64
 	for ci := range m.paths {
 		lo, hi := m.chunkBounds(ci)
-		b += 8 * int64(3+hi-lo+1)
+		b += sparseChunkBytes(hi-lo, 0)
 	}
 	return b + m.nnz*12
 }
@@ -165,7 +178,7 @@ func readSparseChunk(path string, rows, cols int) (c *la.CSR, err error) {
 	if gotRows != rows || gotCols != cols || nnz < 0 {
 		return nil, fmt.Errorf("chunk: %s is %dx%d (nnz %d), want %dx%d", path, gotRows, gotCols, nnz, rows, cols)
 	}
-	want := 8*3 + 8*(rows+1) + 4*nnz + 8*nnz
+	want := int(sparseChunkBytes(rows, int64(nnz)))
 	if len(raw) != want {
 		return nil, fmt.Errorf("chunk: %s has %d bytes, want %d", path, len(raw), want)
 	}
@@ -242,6 +255,44 @@ func (m *SparseMatrix) CSR() (*la.CSR, error) {
 	return la.VCatCSR(parts...), nil
 }
 
+// Stream implements Mat: the chunk pipeline with each decoded CSR chunk
+// delivered as an la.Mat.
+func (m *SparseMatrix) Stream(ex Exec, mapFn func(ci, lo int, c la.Mat) (any, error), commit func(ci int, v any) error) error {
+	return m.pipeline(ex, func(ci, lo int, c *la.CSR) (any, error) {
+		return mapFn(ci, lo, c)
+	}, commit)
+}
+
+// StreamToMatrix implements Mat: it maps every CSR chunk to a dense output
+// chunk and spills the results (through the write-behind stage under a
+// pipelined execution) as a new chunked dense matrix aligned with the
+// input's chunking. On failure every output chunk written so far is
+// removed.
+func (m *SparseMatrix) StreamToMatrix(ex Exec, outCols int, f func(ci, lo int, c la.Mat) (*la.Dense, error)) (*Matrix, error) {
+	if m.freed {
+		return nil, ErrFreed
+	}
+	sp, err := newOutputSpiller(m.store, len(m.paths), ex)
+	if err != nil {
+		return nil, err
+	}
+	err = m.pipeline(ex, func(ci, lo int, c *la.CSR) (any, error) {
+		out, err := f(ci, lo, c)
+		if err != nil {
+			return nil, err
+		}
+		if out.Rows() != c.Rows() || out.Cols() != outCols {
+			return nil, fmt.Errorf("chunk: mapped chunk is %dx%d, want %dx%d", out.Rows(), out.Cols(), c.Rows(), outCols)
+		}
+		return nil, sp.emit(ci, out)
+	}, nil)
+	paths, err := sp.finish(err)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{store: m.store, rows: m.rows, cols: outCols, chunkRows: m.chunkRows, paths: paths}, nil
+}
+
 // Mul computes m·x into a new chunked dense matrix with one parallel
 // streaming pass.
 func (m *SparseMatrix) Mul(x *la.Dense) (*Matrix, error) { return m.MulExec(Parallel(), x) }
@@ -252,21 +303,9 @@ func (m *SparseMatrix) MulExec(ex Exec, x *la.Dense) (*Matrix, error) {
 	if x.Rows() != m.cols {
 		return nil, fmt.Errorf("chunk: sparse Mul %dx%d · %dx%d", m.rows, m.cols, x.Rows(), x.Cols())
 	}
-	if m.freed {
-		return nil, ErrFreed
-	}
-	paths, err := m.store.alloc(len(m.paths))
-	if err != nil {
-		return nil, err
-	}
-	err = m.pipeline(ex, func(ci, lo int, c *la.CSR) (any, error) {
-		return nil, writeChunk(paths[ci], c.Mul(x))
-	}, nil)
-	if err != nil {
-		m.store.release(paths)
-		return nil, err
-	}
-	return &Matrix{store: m.store, rows: m.rows, cols: x.Cols(), chunkRows: m.chunkRows, paths: paths}, nil
+	return m.StreamToMatrix(ex, x.Cols(), func(ci, lo int, c la.Mat) (*la.Dense, error) {
+		return c.Mul(x), nil
+	})
 }
 
 // TMul computes mᵀ·x, accumulating the cols×xCols output in memory.
@@ -327,9 +366,12 @@ func (m *SparseMatrix) ColSumsExec(ex Exec) (*la.Dense, error) {
 }
 
 // Sum aggregates the grand total in one pass.
-func (m *SparseMatrix) Sum() (float64, error) {
+func (m *SparseMatrix) Sum() (float64, error) { return m.SumExec(Parallel()) }
+
+// SumExec aggregates the grand total under the given execution.
+func (m *SparseMatrix) SumExec(ex Exec) (float64, error) {
 	total := 0.0
-	err := m.pipeline(Parallel(), func(ci, lo int, c *la.CSR) (any, error) {
+	err := m.pipeline(ex, func(ci, lo int, c *la.CSR) (any, error) {
 		return c.Sum(), nil
 	}, func(ci int, v any) error {
 		total += v.(float64)

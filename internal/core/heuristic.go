@@ -19,19 +19,23 @@ type Stats struct {
 	Redundancy float64
 }
 
-// ComputeStats derives Stats from the normalized matrix dimensions.
+// ComputeStats derives Stats from the normalized matrix dimensions. All
+// cell-count products are taken in float64: at ORE scale (nS in the
+// billions, dCols in the tens) nS·dCols and the base-table cell totals
+// overflow fixed-width integer arithmetic, which would silently corrupt
+// Redundancy and flip the Advisor.
 func (m *NormalizedMatrix) ComputeStats() Stats {
 	st := Stats{NS: m.nRows, DS: m.dS()}
-	baseCells := 0
+	baseCells := 0.0
 	if m.s != nil {
-		baseCells += m.s.Rows() * m.s.Cols()
+		baseCells += float64(m.s.Rows()) * float64(m.s.Cols())
 	}
 	for _, r := range m.rs {
 		if r.Rows() > st.NR {
 			st.NR = r.Rows()
 		}
 		st.DR += r.Cols()
-		baseCells += r.Rows() * r.Cols()
+		baseCells += float64(r.Rows()) * float64(r.Cols())
 	}
 	if st.NR > 0 {
 		st.TupleRatio = float64(st.NS) / float64(st.NR)
@@ -42,7 +46,7 @@ func (m *NormalizedMatrix) ComputeStats() Stats {
 		st.FeatureRatio = float64(st.DR)
 	}
 	if baseCells > 0 {
-		st.Redundancy = float64(st.NS*m.dCols) / float64(baseCells)
+		st.Redundancy = float64(st.NS) * float64(m.dCols) / baseCells
 	}
 	return st
 }

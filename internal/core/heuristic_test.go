@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/la"
+)
+
+// dimsMat is a dimension-only la.Mat stub: ComputeStats touches nothing
+// but Rows/Cols, which lets the test use ORE-scale shapes that could never
+// be allocated.
+type dimsMat struct {
+	la.Mat
+	r, c int
+}
+
+func (d dimsMat) Rows() int { return d.r }
+func (d dimsMat) Cols() int { return d.c }
+
+// TestComputeStatsOREScaleNoOverflow is the regression test for the
+// integer-overflow bug: at ORE scale the logical cell count nS·dCols (and
+// the base-table totals) exceed what fixed-width integer arithmetic holds,
+// which used to wrap Redundancy negative and silently flip the §3.7
+// Advisor's notion of the storage blow-up. The products are now taken in
+// float64.
+func TestComputeStatsOREScaleNoOverflow(t *testing.T) {
+	// nS·dCols = 2^57 · 128 = 2^64 — wraps to 0 in int64 arithmetic.
+	nS := 1 << 57
+	dS, dR := 8, 120
+	nR := 1 << 50
+	m := &NormalizedMatrix{
+		s:     dimsMat{r: nS, c: dS},
+		rs:    []la.Mat{dimsMat{r: nR, c: dR}},
+		nRows: nS,
+		dCols: dS + dR,
+	}
+	st := m.ComputeStats()
+	if st.Redundancy <= 0 {
+		t.Fatalf("Redundancy = %g, overflowed", st.Redundancy)
+	}
+	wantBase := float64(nS)*float64(dS) + float64(nR)*float64(dR)
+	want := float64(nS) * float64(dS+dR) / wantBase
+	if rel := (st.Redundancy - want) / want; rel > 1e-12 || rel < -1e-12 {
+		t.Fatalf("Redundancy = %g, want %g", st.Redundancy, want)
+	}
+	// The huge tuple ratio must keep the Advisor on the factorized side.
+	if !DefaultAdvisor().ShouldFactorize(st) {
+		t.Fatal("Advisor flipped to materialized on ORE-scale redundancy")
+	}
+}

@@ -35,8 +35,8 @@ func chunkpar(cfg Config) (Result, error) {
 	nS := 20 * nR
 	dS := 60
 	const iters = 2
-	const chunkRows = 1024
 	dR := 2 * dS
+	chunkRows := autoChunkRows(cfg, dS+dR)
 	nm, err := datagen.PKFK(datagen.PKFKSpec{NS: nS, DS: dS, NR: nR, DR: dR, Seed: cfg.Seed})
 	if err != nil {
 		return Result{}, err

@@ -70,6 +70,10 @@ type Config struct {
 	// Workers bounds the out-of-core engine's chunk parallelism
 	// (0 = GOMAXPROCS).
 	Workers int
+	// MemBudgetMB bounds the out-of-core engine's decoded-chunk memory;
+	// chunk heights are derived from it via chunk.AutoRows instead of
+	// being hard-coded (0 = 256 MB).
+	MemBudgetMB int
 }
 
 // DefaultConfig returns Scale=1, Seed=1.

@@ -55,8 +55,18 @@ func TestTable9Runs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("table9 rows = %d, want 4 FR points + one-hot CSR + star", len(res.Rows))
+	}
+}
+
+func TestChunkstarRuns(t *testing.T) {
+	res, err := Run("chunkstar", tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Rows) != 4 {
-		t.Fatalf("table9 rows = %d", len(res.Rows))
+		t.Fatalf("chunkstar rows = %d, want star GLM + crossprod + kmeans + sparse GLM", len(res.Rows))
 	}
 }
 

@@ -3,10 +3,12 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"time"
 
 	"repro/internal/chunk"
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/la"
 	"repro/internal/ml"
@@ -158,6 +160,46 @@ func chunkExec(cfg Config) chunk.Exec {
 	return ex
 }
 
+// memBudgetMB resolves the configured out-of-core memory budget.
+func memBudgetMB(cfg Config) int {
+	if cfg.MemBudgetMB > 0 {
+		return cfg.MemBudgetMB
+	}
+	return 256
+}
+
+// autoChunkRows derives the chunk height for a cols-wide table from the
+// configured memory budget, replacing the hard-coded chunk heights the
+// sweeps used to carry.
+func autoChunkRows(cfg Config, cols int) int {
+	ex := chunkExec(cfg)
+	return chunk.AutoRows(int64(memBudgetMB(cfg))<<20, cols, ex.Workers, ex.Prefetch)
+}
+
+// runGLMPair times a chunked materialized GLM run against the factorized
+// run over the same logical table and verifies the fitted weights agree —
+// a divergence is an error, never a silently wrong table row.
+func runGLMPair(ex chunk.Exec, tM chunk.Mat, nt *chunk.NormalizedTable, y *la.Dense, iters int, alpha float64) (mT, fT time.Duration, resM, resF *chunk.LogRegResult, err error) {
+	mT = timeIt(func() {
+		var err error
+		resM, err = chunk.LogRegMaterializedExec(ex, tM, y, iters, alpha)
+		if err != nil {
+			panic(err)
+		}
+	})
+	fT = timeIt(func() {
+		var err error
+		resF, err = chunk.LogRegFactorizedExec(ex, nt, y, iters, alpha)
+		if err != nil {
+			panic(err)
+		}
+	})
+	if la.MaxAbsDiff(resM.W, resF.W) > 1e-8 {
+		return 0, 0, nil, nil, fmt.Errorf("experiments: M and F weights diverged")
+	}
+	return mT, fT, resM, resF, nil
+}
+
 // table9 regenerates Table 9: per-iteration logistic regression time on the
 // out-of-core (ORE-substitute) backend for a PK-FK join, sweeping the
 // feature ratio.
@@ -177,7 +219,26 @@ func table9(cfg Config) (Result, error) {
 	nS := 20 * nR
 	dS := 60
 	const iters = 2
-	const chunkRows = 2048
+	ex := chunkExec(cfg)
+
+	// sweep times one sweep point and appends its per-iteration row.
+	sweep := func(label string, tM chunk.Mat, nt *chunk.NormalizedTable, y *la.Dense) error {
+		mT, fT, resM, resF, err := runGLMPair(ex, tM, nt, y, iters, 1e-6)
+		if err != nil {
+			return fmt.Errorf("table9: %s: %w", label, err)
+		}
+		res.Rows = append(res.Rows, []string{
+			label,
+			secs(time.Duration(int64(mT) / iters)), secs(time.Duration(int64(fT) / iters)),
+			ratio(mT, fT),
+			fmt.Sprint(resM.BytesRead), fmt.Sprint(resF.BytesRead)})
+		// Release this sweep point's spill files before the next one.
+		if err := tM.Free(); err != nil {
+			return err
+		}
+		return nt.Free()
+	}
+
 	for _, fr := range []float64{0.5, 1, 2, 4} {
 		dR := int(fr * float64(dS))
 		nm, err := datagen.PKFK(datagen.PKFKSpec{NS: nS, DS: dS, NR: nR, DR: dR, Seed: cfg.Seed})
@@ -185,52 +246,105 @@ func table9(cfg Config) (Result, error) {
 			return Result{}, err
 		}
 		y := datagen.Labels(nm, 0, true, cfg.Seed)
-		td := nm.Dense()
-		tM, err := chunk.FromDense(st, td, chunkRows)
+		chunkRows := autoChunkRows(cfg, dS+dR)
+		tM, err := chunk.FromDense(st, nm.Dense(), chunkRows)
 		if err != nil {
 			return Result{}, err
 		}
-		sM, err := chunk.FromDense(st, nm.S().Dense(), chunkRows)
+		nt, err := chunkStar(st, nm, chunkRows)
 		if err != nil {
 			return Result{}, err
 		}
-		fkv, err := chunk.BuildIntVector(st, nm.Ks()[0].Assignments(), chunkRows)
+		if err := sweep(fmt.Sprint(fr), tM, nt, y); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Sparse point: a one-hot CSR attribute table (the Table 6 shape). The
+	// materialized baseline keeps the fair sparse format — CSR chunks —
+	// and both paths train through chunk.Mat.
+	{
+		dR := 4 * dS
+		nm, err := oneHotPKFK(nS, dS, nR, dR, cfg.Seed)
 		if err != nil {
 			return Result{}, err
 		}
-		nt, err := chunk.NewNormalizedTable(sM, fkv, nm.Rs()[0].Dense())
+		y := datagen.Labels(nm, 0, true, cfg.Seed)
+		chunkRows := autoChunkRows(cfg, dS+dR)
+		tM, err := chunk.FromCSR(st, nm.Sparse(), chunkRows)
 		if err != nil {
 			return Result{}, err
 		}
-		ex := chunkExec(cfg)
-		var resM, resF *chunk.LogRegResult
-		mT := timeIt(func() {
-			var err error
-			resM, err = chunk.LogRegMaterializedExec(ex, tM, y, iters, 1e-6)
-			if err != nil {
-				panic(err)
-			}
-		})
-		fT := timeIt(func() {
-			var err error
-			resF, err = chunk.LogRegFactorizedExec(ex, nt, y, iters, 1e-6)
-			if err != nil {
-				panic(err)
-			}
-		})
-		if la.MaxAbsDiff(resM.W, resF.W) > 1e-8 {
-			return Result{}, fmt.Errorf("table9: M and F weights diverged")
+		nt, err := chunkStar(st, nm, chunkRows)
+		if err != nil {
+			return Result{}, err
 		}
-		res.Rows = append(res.Rows, []string{
-			fmt.Sprint(fr),
-			secs(time.Duration(int64(mT) / iters)), secs(time.Duration(int64(fT) / iters)),
-			ratio(mT, fT),
-			fmt.Sprint(resM.BytesRead), fmt.Sprint(resF.BytesRead)})
-		// Release this sweep point's spill files before the next one.
-		tM.Free()
-		nt.Free()
+		if err := sweep("4(one-hot CSR)", tM, nt, y); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Star point: two attribute tables behind the same entity table.
+	{
+		dR := dS
+		nm, err := datagen.Star(datagen.StarSpec{NS: nS, DS: dS, NR: []int{nR, nR}, DR: []int{dR, dR}, Seed: cfg.Seed})
+		if err != nil {
+			return Result{}, err
+		}
+		y := datagen.Labels(nm, 0, true, cfg.Seed)
+		chunkRows := autoChunkRows(cfg, dS+2*dR)
+		tM, err := chunk.FromDense(st, nm.Dense(), chunkRows)
+		if err != nil {
+			return Result{}, err
+		}
+		nt, err := chunkStar(st, nm, chunkRows)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := sweep("2(star q=2)", tM, nt, y); err != nil {
+			return Result{}, err
+		}
 	}
 	return res, nil
+}
+
+// chunkStar spills the base tables of an in-memory star-schema normalized
+// matrix into out-of-core form: chunked S plus one chunk-aligned key
+// column per attribute table, attribute tables staying in memory (dense or
+// CSR, whatever the normalized matrix holds).
+func chunkStar(st *chunk.Store, nm *core.NormalizedMatrix, chunkRows int) (*chunk.NormalizedTable, error) {
+	sM, err := chunk.FromDense(st, nm.S().Dense(), chunkRows)
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]chunk.AttrTable, nm.NumTables())
+	for t, k := range nm.Ks() {
+		fkv, err := chunk.BuildIntVector(st, k.Assignments(), chunkRows)
+		if err != nil {
+			return nil, err
+		}
+		attrs[t] = chunk.AttrTable{FK: fkv, R: nm.Rs()[t]}
+	}
+	return chunk.NewStarTable(sM, attrs)
+}
+
+// oneHotPKFK builds a PK-FK normalized matrix whose attribute table is a
+// one-hot CSR — the real-data Table 6 shape at synthetic scale.
+func oneHotPKFK(nS, dS, nR, dR int, seed int64) (*core.NormalizedMatrix, error) {
+	rng := rand.New(rand.NewSource(seed))
+	s := la.NewDense(nS, dS)
+	for i := range s.Data() {
+		s.Data()[i] = rng.NormFloat64()
+	}
+	b := la.NewCSRBuilder(nR, dR)
+	for i := 0; i < nR; i++ {
+		b.Add(i, rng.Intn(dR), 1)
+	}
+	fk := make([]int, nS)
+	for i := range fk {
+		fk[i] = rng.Intn(nR)
+	}
+	return core.NewPKFK(s, la.NewIndicator(fk, nR), b.Build())
 }
 
 // table10 regenerates Table 10: out-of-core logistic regression on an M:N
@@ -251,7 +365,7 @@ func table10(cfg Config) (Result, error) {
 	nS := cfg.scaled(2000)
 	d := 40
 	const iters = 2
-	const chunkRows = 2048
+	chunkRows := autoChunkRows(cfg, 2*d)
 	for _, frac := range []float64{0.5, 0.1, 0.05, 0.02} {
 		nU := int(frac * float64(nS))
 		if nU < 1 {

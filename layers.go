@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"repro/internal/chunk"
+	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/serve"
 	"repro/internal/table"
@@ -57,6 +59,60 @@ var (
 	RowSumsOf    = expr.RowSums
 	ColSumsOf    = expr.ColSums
 	OptimizeExpr = expr.Optimize
+)
+
+// Out-of-core layer (internal/chunk + the streamed operators in
+// internal/core): a directory-backed chunk store, dense and CSR chunked
+// matrices behind one operator interface, star-schema normalized tables,
+// and the streamed GLM / k-means drivers.
+
+// ChunkStore manages refcounted on-disk chunk files.
+type ChunkStore = chunk.Store
+
+// ChunkExec configures a streaming pass (workers + prefetch depth).
+type ChunkExec = chunk.Exec
+
+// ChunkMat is the chunked-operand interface implemented by both the dense
+// and the CSR chunked matrix.
+type ChunkMat = chunk.Mat
+
+// ChunkMatrix is a dense matrix in fixed-height on-disk row chunks.
+type ChunkMatrix = chunk.Matrix
+
+// ChunkSparseMatrix is a CSR matrix in on-disk row chunks.
+type ChunkSparseMatrix = chunk.SparseMatrix
+
+// ChunkIntVector is an on-disk chunked key column (foreign keys, row
+// selectors).
+type ChunkIntVector = chunk.IntVector
+
+// ChunkAttrTable is one arm of an out-of-core star schema.
+type ChunkAttrTable = chunk.AttrTable
+
+// ChunkNormalizedTable is the out-of-core star-schema normalized matrix.
+type ChunkNormalizedTable = chunk.NormalizedTable
+
+// ChunkKMeansResult holds streamed k-means centroids, the chunked
+// assignment column, and I/O counters.
+type ChunkKMeansResult = chunk.KMeansResult
+
+// Out-of-core entry points.
+var (
+	NewChunkStore           = chunk.NewStore
+	ChunkBuild              = chunk.Build
+	ChunkFromDense          = chunk.FromDense
+	ChunkFromCSR            = chunk.FromCSR
+	BuildChunkIntVector     = chunk.BuildIntVector
+	NewChunkStarTable       = chunk.NewStarTable
+	AutoChunkRows           = chunk.AutoRows
+	ChunkSerial             = chunk.Serial
+	ChunkParallel           = chunk.Parallel
+	ChunkedLogReg           = chunk.LogRegMaterialized
+	ChunkedLogRegFactorized = chunk.LogRegFactorized
+	ChunkedKMeans           = chunk.KMeans
+	StreamedCrossProd       = core.StreamedCrossProd
+	StreamedMul             = core.StreamedMul
+	StreamedTMul            = core.StreamedTMul
 )
 
 // Serving layer (internal/serve): concurrent batched scoring over a
