@@ -10,6 +10,7 @@
 //	morpheus-bench -chunked             # out-of-core suite
 //	morpheus-bench -chunked -workers 4  # ... with a fixed worker count
 //	morpheus-bench -chunked -mem 64     # ... under a 64 MB chunk budget
+//	morpheus-bench -chunked -shards /disk1/spill,/disk2/spill
 //
 // Each experiment prints a text table with the materialized (M) and
 // factorized (F) runtimes and the speed-up, mirroring the series in the
@@ -18,10 +19,13 @@
 //
 // -chunked runs the out-of-core suite: the serial-vs-parallel engine
 // comparison (chunkpar), the star-schema/sparse/k-means interface suite
-// (chunkstar), and the §5.2.4 Tables 9 and 10, all under the parallel
+// (chunkstar), the sharded-vs-single-directory spill comparison
+// (chunkshard), and the §5.2.4 Tables 9 and 10, all under the parallel
 // prefetching chunk pipeline. -mem bounds the decoded-chunk memory; chunk
 // heights are derived from it via chunk.AutoRows instead of being
-// hard-coded.
+// hard-coded. -shards spreads every chunk store across the listed
+// directories (point them at different disks) with size-aware placement
+// and per-shard write-behind queues.
 package main
 
 import (
@@ -39,6 +43,7 @@ func main() {
 		scale   = flag.Float64("scale", 1, "workload scale factor (1 = laptop defaults)")
 		seed    = flag.Int64("seed", 1, "data generation seed")
 		tmpdir  = flag.String("tmpdir", "", "directory for out-of-core chunk stores (default: system temp)")
+		shards  = flag.String("shards", "", "comma-separated shard directories for the out-of-core chunk stores (different disks); overrides -tmpdir")
 		workers = flag.Int("workers", 0, "out-of-core chunk workers (0 = GOMAXPROCS)")
 		mem     = flag.Int("mem", 0, "out-of-core decoded-chunk memory budget in MB; chunk heights are autotuned from it (0 = 256)")
 		chunked = flag.Bool("chunked", false, "run the out-of-core suite (chunkpar, chunkstar, table9, table10)")
@@ -55,10 +60,17 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, TmpDir: *tmpdir, Workers: *workers, MemBudgetMB: *mem}
+	if *shards != "" {
+		for _, d := range strings.Split(*shards, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				cfg.ShardDirs = append(cfg.ShardDirs, d)
+			}
+		}
+	}
 	var ids []string
 	switch {
 	case *chunked:
-		ids = []string{"chunkpar", "chunkstar", "table9", "table10"}
+		ids = []string{"chunkpar", "chunkstar", "chunkshard", "table9", "table10"}
 		if *exp != "" {
 			fmt.Fprintln(os.Stderr, "morpheus-bench: -chunked ignores -exp")
 		}

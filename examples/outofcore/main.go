@@ -1,12 +1,15 @@
 // Command outofcore walks through the parallel out-of-core engine: it
-// streams a table that never exists in memory into a chunk store, trains
-// the factorized GLM over the chunked base tables under both the serial
-// and parallel engines, extends the same pipeline to a two-attribute-table
-// star schema and a one-hot sparse table through the unified chunk.Mat
-// interface, clusters the chunked table with streamed k-means, and shows
-// the spill-file lifecycle (Free / Close) leaving the store directory
-// empty. Chunk heights come from a memory budget via chunk.AutoRows, not
-// hard-coded constants.
+// streams a table that never exists in memory into a sharded chunk store
+// (spill files spread across two directories with size-aware placement
+// and per-shard write-behind queues — point them at different disks for
+// real machines), trains the factorized GLM over the chunked base tables
+// under both the serial and parallel engines, extends the same pipeline
+// to a two-attribute-table star schema and a one-hot sparse table through
+// the unified chunk.Mat interface, clusters the chunked table with
+// streamed k-means, factorizes it with streamed GNMF (chunked W factor),
+// and shows the spill-file lifecycle (Free / Close) leaving every shard
+// directory empty. Chunk heights come from a memory budget via
+// chunk.AutoRows, not hard-coded constants.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -29,7 +33,8 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	store, err := chunk.NewStore(dir)
+	shardDirs := []string{filepath.Join(dir, "shard0"), filepath.Join(dir, "shard1")}
+	store, err := chunk.NewShardedStore(shardDirs, chunk.LeastBytes)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,6 +94,9 @@ func main() {
 	fmt.Printf("spilled S (%d×%d, %.1f MB) + 2 key columns in %v; logical star T is %d×%d; AutoRows(%d MB) chose %d-row chunks\n",
 		nS, dS, float64(sM.BytesOnDisk())/(1<<20), time.Since(start).Round(time.Millisecond),
 		nt.Rows(), nt.Cols(), memBudget>>20, chunkRows)
+	for i, sh := range store.ShardStats() {
+		fmt.Printf("  shard %d (%s): %d chunks, %.1f MB\n", i, filepath.Base(sh.Dir), sh.Chunks, float64(sh.Bytes)/(1<<20))
+	}
 
 	y := la.NewDense(nS, 1)
 	for i := range y.Data() {
@@ -157,6 +165,33 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Streamed GNMF (the last §4 algorithm): the tall W factor is itself
+	// chunked and aligned with the input; intermediate W generations are
+	// freed as the multiplicative updates advance.
+	posT, err := sM.StreamToMatrix(ex, dS, func(ci, lo int, c la.Mat) (*la.Dense, error) {
+		return c.ApplyM(math.Abs).(*la.Dense), nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 = time.Now()
+	gn, err := chunk.GNMFExec(ex, posT, 5, 3, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recon, err := gn.ReconstructionError(ex, posT)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed GNMF (rank=5, 3 iters): %v, ‖T−WHᵀ‖² %.1f, W spilled as %d chunks, %.1f MB streamed\n",
+		time.Since(t0).Round(time.Millisecond), recon, gn.W.NumChunks(), float64(gn.BytesRead)/(1<<20))
+	if err := gn.W.Free(); err != nil {
+		log.Fatal(err)
+	}
+	if err := posT.Free(); err != nil {
+		log.Fatal(err)
+	}
+
 	// Spill-file lifecycle: intermediates are refcounted; Free releases
 	// them as soon as the pipeline is done with them.
 	prod, err := core.StreamedMul(ex, nt, la.Ones(nt.Cols(), 2))
@@ -180,11 +215,15 @@ func main() {
 	if err := store.Close(); err != nil {
 		log.Fatal(err)
 	}
-	left, err := os.ReadDir(dir)
-	if err != nil {
-		log.Fatal(err)
+	left := 0
+	for _, sd := range shardDirs {
+		entries, err := os.ReadDir(sd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		left += len(entries)
 	}
-	fmt.Printf("after Free + Close: %d files left in the store directory\n", len(left))
+	fmt.Printf("after Free + Close: %d files left across both shard directories\n", left)
 }
 
 // buildOneHot spills an n×cols CSR table with one 1 per row, never holding

@@ -41,29 +41,158 @@ var ErrClosed = errors.New("chunk: store closed")
 // ErrFreed is returned when streaming a matrix whose chunks were freed.
 var ErrFreed = errors.New("chunk: use of freed matrix")
 
-// Store manages on-disk chunks under a directory. Chunk files are
-// refcounted: matrices register their chunks at creation, Free releases
-// them (files are deleted when the last referencing matrix is freed), and
-// Close deletes every file the store still tracks. A Store is safe for
-// concurrent use.
+// Placement selects how a sharded store spreads chunk files across its
+// directories.
+type Placement int
+
+const (
+	// RoundRobin cycles chunk allocations across the shard directories in
+	// order, balancing chunk counts.
+	RoundRobin Placement = iota
+	// LeastBytes places each new chunk on the shard currently holding the
+	// fewest bytes (chunks that are allocated but not yet written count at
+	// the store's average chunk size), so shards stay byte-balanced even
+	// when matrices of very different widths share the store.
+	LeastBytes
+)
+
+// ShardStat is one shard directory's accounted footprint.
+type ShardStat struct {
+	Dir    string
+	Chunks int   // tracked chunk files placed on this shard
+	Bytes  int64 // bytes of written chunk files currently tracked
+}
+
+// shard is one spill directory plus its placement accounting.
+type shard struct {
+	dir     string
+	bytes   int64 // written bytes currently tracked on this shard
+	chunks  int   // tracked chunks (written or pending)
+	pending int   // allocated but not yet written
+}
+
+// chunkInfo is the store's bookkeeping for one chunk file.
+type chunkInfo struct {
+	refs    int
+	shard   int
+	written bool  // recordWrite ran (distinguishes a 0-byte file from no file)
+	bytes   int64 // actual file size once written
+}
+
+// Store manages on-disk chunks across one or more shard directories.
+// Chunk files are refcounted: matrices register their chunks at creation,
+// Free releases them (files are deleted when the last referencing matrix
+// is freed), and Close deletes every file the store still tracks, across
+// all shards. A Store is safe for concurrent use.
 type Store struct {
-	dir string
+	policy Placement
 
-	mu     sync.Mutex
-	next   int
-	refs   map[string]int
-	closed bool
+	mu      sync.Mutex
+	shards  []shard
+	next    int
+	allocs  int // round-robin cursor
+	refs    map[string]*chunkInfo
+	orphans int // stale spill files reaped at startup
+	closed  bool
 }
 
-// NewStore creates (if needed) and wraps a chunk directory.
+// NewStore creates (if needed) and wraps a single-directory chunk store —
+// NewShardedStore with one shard.
 func NewStore(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("chunk: creating store: %w", err)
-	}
-	return &Store{dir: dir, refs: make(map[string]int)}, nil
+	return NewShardedStore([]string{dir}, RoundRobin)
 }
 
-// alloc reserves n fresh chunk paths, each with an initial refcount of 1.
+// NewShardedStore creates (if needed) the shard directories and wraps them
+// as one chunk store: every chunk allocation is placed on a shard by the
+// policy, and spill passes write to different shards concurrently (one
+// write-behind queue per shard). Point the directories at different disks
+// or volumes to spread out-of-core I/O across spindles.
+//
+// Any stale spill files (chunk-*.bin) already present in a shard directory
+// — the debris of a crashed previous run — are reaped before the store is
+// returned; OrphansReaped reports how many.
+func NewShardedStore(dirs []string, policy Placement) (*Store, error) {
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("chunk: sharded store needs at least one directory")
+	}
+	if policy != RoundRobin && policy != LeastBytes {
+		return nil, fmt.Errorf("chunk: unknown placement policy %d", policy)
+	}
+	seen := make(map[string]bool, len(dirs))
+	s := &Store{policy: policy, refs: make(map[string]*chunkInfo)}
+	for _, dir := range dirs {
+		if seen[dir] {
+			return nil, fmt.Errorf("chunk: shard directory %q listed twice", dir)
+		}
+		seen[dir] = true
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("chunk: creating store: %w", err)
+		}
+		reaped, err := reapOrphans(dir)
+		if err != nil {
+			return nil, err
+		}
+		s.orphans += reaped
+		s.shards = append(s.shards, shard{dir: dir})
+	}
+	return s, nil
+}
+
+// reapOrphans removes stale chunk files a crashed run left behind in dir.
+func reapOrphans(dir string) (int, error) {
+	stale, err := filepath.Glob(filepath.Join(dir, "chunk-*.bin"))
+	if err != nil {
+		return 0, fmt.Errorf("chunk: scanning for orphans: %w", err)
+	}
+	for _, p := range stale {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return 0, fmt.Errorf("chunk: reaping orphan: %w", err)
+		}
+	}
+	return len(stale), nil
+}
+
+// OrphansReaped reports how many stale spill files from previous runs the
+// store removed when it was opened.
+func (s *Store) OrphansReaped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.orphans
+}
+
+// NumShards reports the number of shard directories.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// pickShard chooses the shard for the next allocation. Caller holds mu.
+func (s *Store) pickShard() int {
+	if s.policy == RoundRobin || len(s.shards) == 1 {
+		return s.allocs % len(s.shards)
+	}
+	// LeastBytes: score pending (not-yet-written) chunks at the store's
+	// average written chunk size so a burst of allocations spreads out
+	// instead of piling onto whichever shard was lightest at alloc time.
+	var written int64
+	var nWritten int
+	for i := range s.shards {
+		written += s.shards[i].bytes
+		nWritten += s.shards[i].chunks - s.shards[i].pending
+	}
+	provisional := int64(1)
+	if nWritten > 0 && written/int64(nWritten) > 0 {
+		provisional = written / int64(nWritten)
+	}
+	best, bestScore := 0, int64(math.MaxInt64)
+	for i := range s.shards {
+		score := s.shards[i].bytes + int64(s.shards[i].pending)*provisional
+		if score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// alloc reserves n fresh chunk paths, each with an initial refcount of 1,
+// placing each on a shard by the store's policy.
 func (s *Store) alloc(n int) ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -73,11 +202,41 @@ func (s *Store) alloc(n int) ([]string, error) {
 	paths := make([]string, n)
 	for i := range paths {
 		s.next++
-		p := filepath.Join(s.dir, fmt.Sprintf("chunk-%06d.bin", s.next))
-		s.refs[p] = 1
+		si := s.pickShard()
+		s.allocs++
+		p := filepath.Join(s.shards[si].dir, fmt.Sprintf("chunk-%06d.bin", s.next))
+		s.refs[p] = &chunkInfo{refs: 1, shard: si}
+		s.shards[si].chunks++
+		s.shards[si].pending++
 		paths[i] = p
 	}
 	return paths, nil
+}
+
+// shardIndex reports which shard a chunk path was placed on (-1 when the
+// path is no longer tracked).
+func (s *Store) shardIndex(path string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if info, ok := s.refs[path]; ok {
+		return info.shard
+	}
+	return -1
+}
+
+// recordWrite attributes a successfully written chunk file's size to its
+// shard. Written bytes drive the LeastBytes policy and the per-shard stats.
+func (s *Store) recordWrite(path string, n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.refs[path]
+	if !ok || info.written {
+		return
+	}
+	info.written = true
+	info.bytes = n
+	s.shards[info.shard].pending--
+	s.shards[info.shard].bytes += n
 }
 
 // retain increments the refcount of every path.
@@ -85,8 +244,8 @@ func (s *Store) retain(paths []string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, p := range paths {
-		if _, ok := s.refs[p]; ok {
-			s.refs[p]++
+		if info, ok := s.refs[p]; ok {
+			info.refs++
 		}
 	}
 }
@@ -98,15 +257,22 @@ func (s *Store) release(paths []string) error {
 	defer s.mu.Unlock()
 	var firstErr error
 	for _, p := range paths {
-		n, ok := s.refs[p]
+		info, ok := s.refs[p]
 		if !ok {
 			continue
 		}
-		if n > 1 {
-			s.refs[p] = n - 1
+		if info.refs > 1 {
+			info.refs--
 			continue
 		}
 		delete(s.refs, p)
+		sh := &s.shards[info.shard]
+		sh.chunks--
+		if info.written {
+			sh.bytes -= info.bytes
+		} else {
+			sh.pending--
+		}
 		if err := os.Remove(p); err != nil && !os.IsNotExist(err) && firstErr == nil {
 			firstErr = err
 		}
@@ -121,9 +287,33 @@ func (s *Store) LiveChunks() int {
 	return len(s.refs)
 }
 
-// Close deletes every chunk file the store still tracks and marks the
-// store closed; subsequent chunk allocations fail with ErrClosed. The
-// directory itself is left in place (the caller created it).
+// BytesOnDisk reports the total written bytes the store currently tracks
+// across all shards.
+func (s *Store) BytesOnDisk() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b int64
+	for i := range s.shards {
+		b += s.shards[i].bytes
+	}
+	return b
+}
+
+// ShardStats reports each shard directory's tracked chunk count and bytes.
+func (s *Store) ShardStats() []ShardStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ShardStat, len(s.shards))
+	for i := range s.shards {
+		out[i] = ShardStat{Dir: s.shards[i].dir, Chunks: s.shards[i].chunks, Bytes: s.shards[i].bytes}
+	}
+	return out
+}
+
+// Close deletes every chunk file the store still tracks — across all
+// shards — and marks the store closed; subsequent chunk allocations fail
+// with ErrClosed. The directories themselves are left in place (the caller
+// created them).
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -137,7 +327,10 @@ func (s *Store) Close() error {
 			firstErr = err
 		}
 	}
-	s.refs = make(map[string]int)
+	s.refs = make(map[string]*chunkInfo)
+	for i := range s.shards {
+		s.shards[i] = shard{dir: s.shards[i].dir}
+	}
 	return firstErr
 }
 
@@ -229,7 +422,7 @@ func Build(store *Store, rows, cols, chunkRows int, gen func(lo, hi int, dst *la
 			clear(dst.Data())
 		}
 		gen(lo, hi, dst)
-		if err := writeChunk(paths[ci], dst); err != nil {
+		if err := store.writeChunkFile(paths[ci], dst); err != nil {
 			store.release(paths)
 			return nil, err
 		}
@@ -237,34 +430,47 @@ func Build(store *Store, rows, cols, chunkRows int, gen func(lo, hi int, dst *la
 	return m, nil
 }
 
+// writeChunkFile writes one dense chunk and attributes its size to the
+// path's shard on success.
+func (s *Store) writeChunkFile(path string, d *la.Dense) error {
+	n, err := writeChunk(path, d)
+	if err == nil {
+		s.recordWrite(path, n)
+	}
+	return err
+}
+
 // writeChunk encodes d row by row into a reusable buffer and issues one
-// buffered Write per row instead of one per element.
-func writeChunk(path string, d *la.Dense) error {
+// buffered Write per row instead of one per element. It reports the bytes
+// written.
+func writeChunk(path string, d *la.Dense) (int64, error) {
 	f, err := os.Create(path)
 	if err != nil {
-		return fmt.Errorf("chunk: %w", err)
+		return 0, fmt.Errorf("chunk: %w", err)
 	}
 	w := bufio.NewWriterSize(f, 1<<20)
 	cols := d.Cols()
 	buf := make([]byte, 8*cols)
 	data := d.Data()
+	var written int64
 	for off := 0; off+cols <= len(data) && cols > 0; off += cols {
 		for j, v := range data[off : off+cols] {
 			binary.LittleEndian.PutUint64(buf[j*8:], math.Float64bits(v))
 		}
 		if _, err := w.Write(buf); err != nil {
 			f.Close()
-			return fmt.Errorf("chunk: %w", err)
+			return 0, fmt.Errorf("chunk: %w", err)
 		}
+		written += int64(len(buf))
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
-		return fmt.Errorf("chunk: %w", err)
+		return 0, fmt.Errorf("chunk: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("chunk: %w", err)
+		return 0, fmt.Errorf("chunk: %w", err)
 	}
-	return nil
+	return written, nil
 }
 
 func readChunk(path string, rows, cols int) (*la.Dense, error) {
@@ -294,6 +500,20 @@ func (m *Matrix) chunkBounds(i int) (lo, hi int) {
 func (m *Matrix) readAt(ci int) (*la.Dense, error) {
 	lo, hi := m.chunkBounds(ci)
 	return readChunk(m.paths[ci], hi-lo, m.cols)
+}
+
+// Chunk decodes chunk ci and returns it with its first-row offset. It is
+// safe to call concurrently (each call reads its own chunk), which lets a
+// pipeline over one matrix fetch the aligned chunk of another — the
+// two-operand pattern the streamed GNMF W-passes use, mirroring
+// IntVector.Keys for key columns.
+func (m *Matrix) Chunk(ci int) (lo int, c *la.Dense, err error) {
+	if m.freed {
+		return 0, nil, ErrFreed
+	}
+	lo, _ = m.chunkBounds(ci)
+	c, err = m.readAt(ci)
+	return lo, c, err
 }
 
 // pipeline runs the chunk pipeline over this matrix.

@@ -209,7 +209,7 @@ func MaterializeMN(store *Store, t *MNTable) (*Matrix, error) {
 			copy(buf.Row(i)[:dS], sD.Row(int(isChunk.At(i, 0))))
 			copy(buf.Row(i)[dS:], rD.Row(int(irKeys[i])))
 		}
-		return nil, writeChunk(paths[ci], buf)
+		return nil, store.writeChunkFile(paths[ci], buf)
 	}, nil)
 	if err != nil {
 		store.release(paths)

@@ -1,6 +1,7 @@
 package chunk
 
 import (
+	"fmt"
 	"runtime"
 
 	"repro/internal/la"
@@ -68,21 +69,34 @@ func EncodedBytes(c la.Mat) int64 {
 //
 //	chunkRows = memBudgetBytes / ((workers+prefetch+1) · cols · 8)
 //
-// clamped to [64, 1<<20]. workers<=0 means GOMAXPROCS, matching Exec;
+// clamped to [1, 1<<20]. workers<=0 means GOMAXPROCS, matching Exec;
 // prefetch<0 means 0. Use it instead of hard-coding chunk heights: it keeps
 // the same pass under the same budget whether the table is wide or narrow
 // and whether one worker or thirty-two are running.
 //
 // The budget covers the decoded *input* chunks. Passes that spill a chunked
 // output (StreamToMatrix, Mul, Scale, ...) additionally hold up to
-// workers+spillQueueDepth+1 output chunks (one per busy worker plus the
-// bounded write-behind queue); when the output is as wide as the input,
-// size the budget for roughly twice the pass's input residency.
+// workers+spillQueueDepth+1 output chunks per shard (one per busy worker
+// plus the bounded write-behind queues); when the output is as wide as the
+// input, size the budget for roughly twice the pass's input residency.
+//
+// A small budget degrades gracefully: the chunk height shrinks with the
+// budget but never under one row, so the pass stays within (or as close
+// as physically possible to) the budget instead of silently
+// overcommitting it. AutoRowsChecked additionally reports when even
+// one-row chunks exceed the budget.
 func AutoRows(memBudgetBytes int64, cols, workers, prefetch int) int {
-	const (
-		minRows = 64
-		maxRows = 1 << 20
-	)
+	rows, _ := AutoRowsChecked(memBudgetBytes, cols, workers, prefetch)
+	return rows
+}
+
+// AutoRowsChecked is AutoRows with an explicit infeasibility signal: the
+// returned chunk height is always usable (≥ 1 row), and the error is
+// non-nil when the budget cannot hold even one row of the operand per
+// resident chunk — the caller is about to stream wider than its memory
+// bound and should raise the budget or narrow the operand.
+func AutoRowsChecked(memBudgetBytes int64, cols, workers, prefetch int) (int, error) {
+	const maxRows = 1 << 20
 	if cols <= 0 {
 		cols = 1
 	}
@@ -94,13 +108,15 @@ func AutoRows(memBudgetBytes int64, cols, workers, prefetch int) int {
 	}
 	resident := int64(workers+prefetch+1) * int64(cols) * 8
 	rows := memBudgetBytes / resident
-	if rows < minRows {
-		return minRows
+	switch {
+	case rows < 1:
+		return 1, fmt.Errorf("chunk: memory budget %d B cannot hold one %d-column row in each of the %d resident chunks (needs %d B); clamping to 1-row chunks",
+			memBudgetBytes, cols, workers+prefetch+1, resident)
+	case rows > maxRows:
+		return maxRows, nil
+	default:
+		return int(rows), nil
 	}
-	if rows > maxRows {
-		return maxRows
-	}
-	return int(rows)
 }
 
 // rowSquaredNorms returns the per-row sums of squares of one chunk (the

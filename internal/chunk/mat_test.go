@@ -192,9 +192,27 @@ func TestAutoRows(t *testing.T) {
 	if got := AutoRows(1<<20, 16, 4, 3); got != 1024 {
 		t.Fatalf("AutoRows(1MiB,16,4,3) = %d, want 1024", got)
 	}
-	// Tiny budgets clamp up to the floor.
-	if got := AutoRows(1, 1000, 8, 16); got != 64 {
-		t.Fatalf("tiny budget: got %d, want 64", got)
+	// A budget smaller than one row of the widest operand clamps to one
+	// row — never 0, never the old overcommitting 64-row floor — and
+	// AutoRowsChecked reports the infeasibility explicitly.
+	if got := AutoRows(1, 1000, 8, 16); got != 1 {
+		t.Fatalf("tiny budget: got %d, want 1", got)
+	}
+	rows, err := AutoRowsChecked(1, 1000, 8, 16)
+	if rows != 1 || err == nil {
+		t.Fatalf("AutoRowsChecked(1,1000,8,16) = (%d, %v), want (1, infeasibility error)", rows, err)
+	}
+	if got := AutoRows(0, 1<<30, 0, -1); got < 1 {
+		t.Fatalf("zero budget over a 2^30-wide operand: got %d, want >= 1", got)
+	}
+	// A budget worth only a few rows honors the budget: the pass streams
+	// shorter chunks rather than overcommitting.
+	under, err := AutoRowsChecked(10*1000*8*(8+16+1), 1000, 8, 16)
+	if err != nil {
+		t.Fatalf("10-row budget unexpectedly infeasible: %v", err)
+	}
+	if under != 10 {
+		t.Fatalf("10-row budget: got %d, want 10", under)
 	}
 	// Huge budgets clamp down to the ceiling.
 	if got := AutoRows(1<<50, 1, 1, 0); got != 1<<20 {

@@ -59,7 +59,8 @@ type writeJob struct {
 // full, which bounds in-memory output-chunk residency at the queue depth.
 // After the first write error the writer keeps draining (so blocked
 // producers always make progress) but drops the jobs; the error surfaces on
-// every later enqueue and on close.
+// every later enqueue and on close. A sharded store runs one spillWriter
+// per shard, so spills to different disks proceed concurrently.
 type spillWriter struct {
 	jobs chan writeJob
 	done chan struct{}
@@ -67,7 +68,7 @@ type spillWriter struct {
 	err  error
 }
 
-func newSpillWriter(depth int) *spillWriter {
+func newSpillWriter(store *Store, depth int) *spillWriter {
 	if depth < 1 {
 		depth = 1
 	}
@@ -78,7 +79,7 @@ func newSpillWriter(depth int) *spillWriter {
 			if w.firstErr() != nil {
 				continue
 			}
-			if err := writeChunk(j.path, j.d); err != nil {
+			if err := store.writeChunkFile(j.path, j.d); err != nil {
 				w.setErr(err)
 			}
 		}
@@ -115,21 +116,25 @@ func (w *spillWriter) close() error {
 	return w.firstErr()
 }
 
-// outputSpiller pairs freshly allocated output chunk paths with the writer
-// that spills mapped chunks to them: asynchronous (write-behind) whenever
-// the execution is pipelined, strictly synchronous for the Serial baseline
-// so the reference path stays read-compute-write. Output bytes are
-// identical either way — only the overlap changes.
+// outputSpiller pairs freshly allocated output chunk paths with the
+// writers that spill mapped chunks to them: asynchronous (write-behind)
+// whenever the execution is pipelined, strictly synchronous for the Serial
+// baseline so the reference path stays read-compute-write. Under a sharded
+// store the spiller runs one write-behind queue per shard, so output
+// chunks placed on different disks are written concurrently. Output bytes
+// are identical either way — only the overlap changes.
 type outputSpiller struct {
-	store  *Store
-	paths  []string
-	writer *spillWriter // nil → synchronous writes
+	store   *Store
+	paths   []string
+	shards  []int          // shard of each output path, parallel to paths
+	writers []*spillWriter // indexed by shard; all nil → synchronous writes
 }
 
-// spillQueueDepth bounds the write-behind queue. A small constant keeps
-// output-chunk residency tight — during a spill pass at most Workers
-// outputs are being computed plus spillQueueDepth+1 queued/being written —
-// while still decoupling the writer from bursty chunk completion.
+// spillQueueDepth bounds each shard's write-behind queue. A small constant
+// keeps output-chunk residency tight — during a spill pass at most Workers
+// outputs are being computed plus spillQueueDepth+1 per shard
+// queued/being written — while still decoupling the writers from bursty
+// chunk completion.
 const spillQueueDepth = 2
 
 func newOutputSpiller(store *Store, n int, ex Exec) (*outputSpiller, error) {
@@ -137,28 +142,40 @@ func newOutputSpiller(store *Store, n int, ex Exec) (*outputSpiller, error) {
 	if err != nil {
 		return nil, err
 	}
-	sp := &outputSpiller{store: store, paths: paths}
+	sp := &outputSpiller{store: store, paths: paths, shards: make([]int, n)}
+	for i, p := range paths {
+		sp.shards[i] = store.shardIndex(p)
+	}
 	if nx := ex.normalized(); nx.Workers > 1 || nx.Prefetch > 0 {
-		sp.writer = newSpillWriter(spillQueueDepth)
+		sp.writers = make([]*spillWriter, store.NumShards())
+		for _, si := range sp.shards {
+			if sp.writers[si] == nil {
+				sp.writers[si] = newSpillWriter(store, spillQueueDepth)
+			}
+		}
 	}
 	return sp, nil
 }
 
-// emit spills chunk ci's output, possibly asynchronously. Safe for
-// concurrent use from pipeline workers.
+// emit spills chunk ci's output, possibly asynchronously through the
+// write-behind queue of the shard it was placed on. Safe for concurrent
+// use from pipeline workers.
 func (sp *outputSpiller) emit(ci int, out *la.Dense) error {
-	if sp.writer == nil {
-		return writeChunk(sp.paths[ci], out)
+	if sp.writers == nil {
+		return sp.store.writeChunkFile(sp.paths[ci], out)
 	}
-	return sp.writer.enqueue(sp.paths[ci], out)
+	return sp.writers[sp.shards[ci]].enqueue(sp.paths[ci], out)
 }
 
-// finish drains the write-behind queue and combines its error with the
-// pipeline's. On any failure every output chunk written so far is released
-// and finish returns nil paths.
+// finish drains every shard's write-behind queue and combines their first
+// error with the pipeline's. On any failure every output chunk written so
+// far is released and finish returns nil paths.
 func (sp *outputSpiller) finish(err error) ([]string, error) {
-	if sp.writer != nil {
-		if werr := sp.writer.close(); err == nil {
+	for _, w := range sp.writers {
+		if w == nil {
+			continue
+		}
+		if werr := w.close(); err == nil {
 			err = werr
 		}
 	}

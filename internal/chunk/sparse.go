@@ -103,6 +103,7 @@ func FromCSR(store *Store, c *la.CSR, chunkRows int) (*SparseMatrix, error) {
 			store.release(paths)
 			return nil, err
 		}
+		store.recordWrite(paths[ci], sparseChunkBytes(part.Rows(), int64(part.NNZ())))
 	}
 	return m, nil
 }

@@ -67,6 +67,10 @@ type Config struct {
 	Seed  int64
 	// TmpDir hosts the out-of-core chunk stores (Tables 9, 10).
 	TmpDir string
+	// ShardDirs, when set, spreads every out-of-core chunk store across
+	// these directories (point them at different disks) with size-aware
+	// placement; it takes precedence over TmpDir.
+	ShardDirs []string
 	// Workers bounds the out-of-core engine's chunk parallelism
 	// (0 = GOMAXPROCS).
 	Workers int

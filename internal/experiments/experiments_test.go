@@ -70,6 +70,32 @@ func TestChunkstarRuns(t *testing.T) {
 	}
 }
 
+func TestChunkshardRuns(t *testing.T) {
+	res, err := Run("chunkshard", tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("chunkshard rows = %d, want spill + T·x + glm + gnmf", len(res.Rows))
+	}
+	if !strings.Contains(res.Notes, "shards=2") {
+		t.Fatalf("chunkshard notes missing shard count: %q", res.Notes)
+	}
+}
+
+func TestChunkshardHonorsShardDirs(t *testing.T) {
+	cfg := tinyCfg()
+	root := t.TempDir()
+	cfg.ShardDirs = []string{root + "/a", root + "/b", root + "/c"}
+	res, err := Run("chunkshard", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Notes, "shards=3") {
+		t.Fatalf("chunkshard ignored ShardDirs: %q", res.Notes)
+	}
+}
+
 func TestTable10Runs(t *testing.T) {
 	res, err := Run("table10", Config{Scale: 0.1, Seed: 1})
 	if err != nil {

@@ -129,6 +129,16 @@ func table8(cfg Config) (Result, error) {
 }
 
 func chunkStore(cfg Config, name string) (*chunk.Store, func(), error) {
+	if len(cfg.ShardDirs) > 0 {
+		// User-supplied shard directories (different disks) are not
+		// removed, but Close still deletes every spill file the run
+		// created, on every shard.
+		st, err := chunk.NewShardedStore(cfg.ShardDirs, chunk.LeastBytes)
+		if err != nil {
+			return nil, nil, err
+		}
+		return st, func() { st.Close() }, nil
+	}
 	dir := cfg.TmpDir
 	if dir == "" {
 		d, err := os.MkdirTemp("", "morpheus-"+name+"-*")

@@ -66,8 +66,22 @@ var (
 // matrices behind one operator interface, star-schema normalized tables,
 // and the streamed GLM / k-means drivers.
 
-// ChunkStore manages refcounted on-disk chunk files.
+// ChunkStore manages refcounted on-disk chunk files across one or more
+// shard directories.
 type ChunkStore = chunk.Store
+
+// ChunkPlacement selects how a sharded store spreads chunk files across
+// its directories.
+type ChunkPlacement = chunk.Placement
+
+// Shard placement policies.
+const (
+	ChunkRoundRobin = chunk.RoundRobin
+	ChunkLeastBytes = chunk.LeastBytes
+)
+
+// ChunkShardStat is one shard directory's accounted footprint.
+type ChunkShardStat = chunk.ShardStat
 
 // ChunkExec configures a streaming pass (workers + prefetch depth).
 type ChunkExec = chunk.Exec
@@ -96,20 +110,26 @@ type ChunkNormalizedTable = chunk.NormalizedTable
 // assignment column, and I/O counters.
 type ChunkKMeansResult = chunk.KMeansResult
 
+// ChunkGNMFResult holds the streamed GNMF factors: chunked W, in-memory H.
+type ChunkGNMFResult = chunk.GNMFResult
+
 // Out-of-core entry points.
 var (
 	NewChunkStore           = chunk.NewStore
+	NewShardedChunkStore    = chunk.NewShardedStore
 	ChunkBuild              = chunk.Build
 	ChunkFromDense          = chunk.FromDense
 	ChunkFromCSR            = chunk.FromCSR
 	BuildChunkIntVector     = chunk.BuildIntVector
 	NewChunkStarTable       = chunk.NewStarTable
 	AutoChunkRows           = chunk.AutoRows
+	AutoChunkRowsChecked    = chunk.AutoRowsChecked
 	ChunkSerial             = chunk.Serial
 	ChunkParallel           = chunk.Parallel
 	ChunkedLogReg           = chunk.LogRegMaterialized
 	ChunkedLogRegFactorized = chunk.LogRegFactorized
 	ChunkedKMeans           = chunk.KMeans
+	ChunkedGNMF             = chunk.GNMF
 	StreamedCrossProd       = core.StreamedCrossProd
 	StreamedMul             = core.StreamedMul
 	StreamedTMul            = core.StreamedTMul

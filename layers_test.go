@@ -51,6 +51,54 @@ func TestLayersFacade(t *testing.T) {
 	}
 }
 
+// TestOutOfCoreFacade drives the sharded out-of-core layer through the
+// public facade: a two-shard store, a streamed build, chunked k-means and
+// GNMF, and shard accounting.
+func TestOutOfCoreFacade(t *testing.T) {
+	root := t.TempDir()
+	st, err := NewShardedChunkStore([]string{root + "/a", root + "/b"}, ChunkLeastBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	const n, d = 48, 5
+	m, err := ChunkBuild(st, n, d, 8, func(lo, hi int, dst *Dense) {
+		for i := range dst.Data() {
+			dst.Data()[i] = float64((lo+i)%7) + 0.25
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumShards() != 2 {
+		t.Fatalf("NumShards = %d", st.NumShards())
+	}
+	var tracked int
+	for _, sh := range st.ShardStats() {
+		tracked += sh.Chunks
+	}
+	if tracked != m.NumChunks() {
+		t.Fatalf("shard stats track %d chunks, matrix has %d", tracked, m.NumChunks())
+	}
+	km, err := ChunkedKMeans(m, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.Centroids.Rows() != d || km.Centroids.Cols() != 3 {
+		t.Fatalf("centroids %dx%d", km.Centroids.Rows(), km.Centroids.Cols())
+	}
+	g, err := ChunkedGNMF(m, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.W.Rows() != n || g.H.Rows() != d {
+		t.Fatalf("GNMF factors W %d rows, H %d rows", g.W.Rows(), g.H.Rows())
+	}
+	if _, err := AutoChunkRowsChecked(1, 1<<20, 4, 4); err == nil {
+		t.Fatal("infeasible chunk budget not reported")
+	}
+}
+
 // TestServingFacade drives the serving layer through the public facade:
 // train factorized, build a cached-partial scorer plus a micro-batching
 // frontend, and check both agree with the training-time predictor.
