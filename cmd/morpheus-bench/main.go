@@ -11,6 +11,8 @@
 //	morpheus-bench -chunked -workers 4  # ... with a fixed worker count
 //	morpheus-bench -chunked -mem 64     # ... under a 64 MB chunk budget
 //	morpheus-bench -chunked -shards /disk1/spill,/disk2/spill
+//	morpheus-bench -chunked -remote-shards http://node1:9431,http://node2:9431
+//	morpheus-bench -exp fig3 -json > bench.json
 //
 // Each experiment prints a text table with the materialized (M) and
 // factorized (F) runtimes and the speed-up, mirroring the series in the
@@ -25,10 +27,18 @@
 // heights are derived from it via chunk.AutoRows instead of being
 // hard-coded. -shards spreads every chunk store across the listed
 // directories (point them at different disks) with size-aware placement
-// and per-shard write-behind queues.
+// and per-shard write-behind queues. -remote-shards adds morpheus-chunkd
+// chunk servers as shards next to (or instead of) the local directories,
+// so spills stream to other nodes.
+//
+// -json replaces the text tables with one JSON array of results on stdout
+// (the schema is experiments.Result: id/title/header/rows/notes), the
+// machine-readable record CI archives per run so the performance
+// trajectory accumulates.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,9 +54,11 @@ func main() {
 		seed    = flag.Int64("seed", 1, "data generation seed")
 		tmpdir  = flag.String("tmpdir", "", "directory for out-of-core chunk stores (default: system temp)")
 		shards  = flag.String("shards", "", "comma-separated shard directories for the out-of-core chunk stores (different disks); overrides -tmpdir")
+		remote  = flag.String("remote-shards", "", "comma-separated morpheus-chunkd base URLs to shard the out-of-core chunk stores across, alongside -shards")
 		workers = flag.Int("workers", 0, "out-of-core chunk workers (0 = GOMAXPROCS)")
 		mem     = flag.Int("mem", 0, "out-of-core decoded-chunk memory budget in MB; chunk heights are autotuned from it (0 = 256)")
 		chunked = flag.Bool("chunked", false, "run the out-of-core suite (chunkpar, chunkstar, table9, table10)")
+		asJSON  = flag.Bool("json", false, "emit results as one JSON array on stdout instead of text tables")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -67,6 +79,13 @@ func main() {
 			}
 		}
 	}
+	if *remote != "" {
+		for _, u := range strings.Split(*remote, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				cfg.RemoteShards = append(cfg.RemoteShards, u)
+			}
+		}
+	}
 	var ids []string
 	switch {
 	case *chunked:
@@ -80,6 +99,7 @@ func main() {
 		ids = []string{*exp}
 	}
 	seen := map[string]bool{}
+	var results []experiments.Result
 	for _, id := range ids {
 		res, err := experiments.Run(id, cfg)
 		if err != nil {
@@ -90,6 +110,18 @@ func main() {
 			continue
 		}
 		seen[res.ID] = true
+		if *asJSON {
+			results = append(results, res)
+			continue
+		}
 		fmt.Println(res.Format())
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "morpheus-bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

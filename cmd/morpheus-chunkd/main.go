@@ -1,0 +1,49 @@
+// Command morpheus-chunkd serves one chunk-store shard directory over HTTP,
+// so a sharded out-of-core store on another machine can place spill chunks
+// here (chunk.NewRemoteBackend / morpheus-bench -remote-shards).
+//
+// Usage:
+//
+//	morpheus-chunkd -dir /fast/disk/spill
+//	morpheus-chunkd -dir /spill -addr :9431 -max-chunk-mb 1024
+//
+// Wire protocol (see chunk.ChunkServer): PUT/GET/HEAD/DELETE /chunks/{key}
+// for chunk blobs, GET /chunks for the stored-key listing, DELETE /chunks
+// to reap every chunk plus interrupted-spill temp debris (the remote
+// analogue of startup orphan reaping — the store issues it when it adopts
+// the shard). Uploads above -max-chunk-mb are rejected; writes are atomic
+// (temp file + rename), so a client or server crash never leaves a
+// truncated chunk readable.
+//
+// Run one chunkd shard per store: adopting a shard reaps whatever a
+// previous (crashed) run left in it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/chunk"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":9431", "listen address")
+		dir   = flag.String("dir", "", "shard directory to serve (required)")
+		maxMB = flag.Int64("max-chunk-mb", chunk.DefaultMaxChunkBytes>>20, "largest accepted chunk upload in MiB")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "morpheus-chunkd: -dir is required")
+		os.Exit(2)
+	}
+	srv, err := chunk.NewChunkServer(*dir, *maxMB<<20)
+	if err != nil {
+		log.Fatalf("morpheus-chunkd: %v", err)
+	}
+	log.Printf("morpheus-chunkd: serving shard %s on %s (max chunk %d MiB)", *dir, *addr, *maxMB)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

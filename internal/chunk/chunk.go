@@ -20,16 +20,18 @@
 // matrix's chunks as soon as a pipeline no longer needs the intermediate,
 // and Store.Close removes whatever is left, so long pipelines do not
 // accumulate dead spill files.
+//
+// Where a shard's bytes live is pluggable (Backend): local spill
+// directories by default, remote chunk servers (NewRemoteBackend, the
+// morpheus-chunkd protocol) for multi-node sharding, or any mix of the
+// two under one store (NewShardedStoreBackends).
 package chunk
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
-	"os"
-	"path/filepath"
 	"sync"
 
 	"repro/internal/la"
@@ -56,16 +58,17 @@ const (
 	LeastBytes
 )
 
-// ShardStat is one shard directory's accounted footprint.
+// ShardStat is one shard's accounted footprint.
 type ShardStat struct {
-	Dir    string
-	Chunks int   // tracked chunk files placed on this shard
-	Bytes  int64 // bytes of written chunk files currently tracked
+	Dir    string // shard identity: directory path, or base URL for a remote shard
+	Chunks int    // tracked chunk files placed on this shard
+	Bytes  int64  // bytes of written chunk files currently tracked
 }
 
-// shard is one spill directory plus its placement accounting.
+// shard is one chunk backend (a spill directory or a remote chunk server)
+// plus its placement accounting.
 type shard struct {
-	dir     string
+	backend Backend
 	bytes   int64 // written bytes currently tracked on this shard
 	chunks  int   // tracked chunks (written or pending)
 	pending int   // allocated but not yet written
@@ -79,7 +82,8 @@ type chunkInfo struct {
 	bytes   int64 // actual file size once written
 }
 
-// Store manages on-disk chunks across one or more shard directories.
+// Store manages chunks across one or more shard backends — local spill
+// directories, remote chunk servers, or a mix (NewShardedStoreBackends).
 // Chunk files are refcounted: matrices register their chunks at creation,
 // Free releases them (files are deleted when the last referencing matrix
 // is freed), and Close deletes every file the store still tracks, across
@@ -108,48 +112,55 @@ func NewStore(dir string) (*Store, error) {
 // write-behind queue per shard). Point the directories at different disks
 // or volumes to spread out-of-core I/O across spindles.
 //
-// Any stale spill files (chunk-*.bin) already present in a shard directory
-// — the debris of a crashed previous run — are reaped before the store is
-// returned; OrphansReaped reports how many.
+// Any stale spill files (chunk-*.bin, plus *.tmp debris of interrupted
+// spills) already present in a shard directory — left by a crashed
+// previous run — are reaped before the store is returned; OrphansReaped
+// reports how many.
 func NewShardedStore(dirs []string, policy Placement) (*Store, error) {
 	if len(dirs) == 0 {
 		return nil, fmt.Errorf("chunk: sharded store needs at least one directory")
 	}
+	backends := make([]Backend, 0, len(dirs))
+	for _, dir := range dirs {
+		b, err := NewDirBackend(dir)
+		if err != nil {
+			return nil, err
+		}
+		backends = append(backends, b)
+	}
+	return NewShardedStoreBackends(backends, policy)
+}
+
+// NewShardedStoreBackends wraps arbitrary chunk backends as one store, so
+// local spill directories and remote chunk servers (NewRemoteBackend) can
+// shard one store's chunks between them. Placement policies, per-shard
+// write-behind queues, the refcounted chunk lifecycle, and ShardStats
+// accounting are backend-agnostic and run unchanged.
+//
+// Each backend's stale blobs from a crashed previous run are reaped before
+// the store is returned; OrphansReaped reports the total.
+func NewShardedStoreBackends(backends []Backend, policy Placement) (*Store, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("chunk: sharded store needs at least one backend")
+	}
 	if policy != RoundRobin && policy != LeastBytes {
 		return nil, fmt.Errorf("chunk: unknown placement policy %d", policy)
 	}
-	seen := make(map[string]bool, len(dirs))
+	seen := make(map[string]bool, len(backends))
 	s := &Store{policy: policy, refs: make(map[string]*chunkInfo)}
-	for _, dir := range dirs {
-		if seen[dir] {
-			return nil, fmt.Errorf("chunk: shard directory %q listed twice", dir)
+	for _, b := range backends {
+		if seen[b.Name()] {
+			return nil, fmt.Errorf("chunk: shard %q listed twice", b.Name())
 		}
-		seen[dir] = true
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("chunk: creating store: %w", err)
-		}
-		reaped, err := reapOrphans(dir)
+		seen[b.Name()] = true
+		reaped, err := b.Reap()
 		if err != nil {
 			return nil, err
 		}
 		s.orphans += reaped
-		s.shards = append(s.shards, shard{dir: dir})
+		s.shards = append(s.shards, shard{backend: b})
 	}
 	return s, nil
-}
-
-// reapOrphans removes stale chunk files a crashed run left behind in dir.
-func reapOrphans(dir string) (int, error) {
-	stale, err := filepath.Glob(filepath.Join(dir, "chunk-*.bin"))
-	if err != nil {
-		return 0, fmt.Errorf("chunk: scanning for orphans: %w", err)
-	}
-	for _, p := range stale {
-		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
-			return 0, fmt.Errorf("chunk: reaping orphan: %w", err)
-		}
-	}
-	return len(stale), nil
 }
 
 // OrphansReaped reports how many stale spill files from previous runs the
@@ -191,8 +202,10 @@ func (s *Store) pickShard() int {
 	return best
 }
 
-// alloc reserves n fresh chunk paths, each with an initial refcount of 1,
-// placing each on a shard by the store's policy.
+// alloc reserves n fresh chunk keys, each with an initial refcount of 1,
+// placing each on a shard by the store's policy. Keys are unique across
+// the whole store (one counter), so a key also names a unique blob within
+// whichever backend it lands on.
 func (s *Store) alloc(n int) ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -204,13 +217,26 @@ func (s *Store) alloc(n int) ([]string, error) {
 		s.next++
 		si := s.pickShard()
 		s.allocs++
-		p := filepath.Join(s.shards[si].dir, fmt.Sprintf("chunk-%06d.bin", s.next))
+		p := fmt.Sprintf("chunk-%06d.bin", s.next)
 		s.refs[p] = &chunkInfo{refs: 1, shard: si}
 		s.shards[si].chunks++
 		s.shards[si].pending++
 		paths[i] = p
 	}
 	return paths, nil
+}
+
+// backendFor resolves the shard backend a tracked chunk key was placed on.
+// An untracked key — already freed, or foreign to this store — surfaces as
+// an error instead of a panic or a confusing missing-file read.
+func (s *Store) backendFor(key string) (Backend, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.refs[key]
+	if !ok {
+		return nil, fmt.Errorf("chunk: %s is not tracked by this store (freed or foreign)", key)
+	}
+	return s.shards[info.shard].backend, nil
 }
 
 // shardIndex reports which shard a chunk path was placed on (-1 when the
@@ -250,12 +276,54 @@ func (s *Store) retain(paths []string) {
 	}
 }
 
+// removal is one untracked chunk blob awaiting backend deletion. Backend
+// removes run outside the store mutex — a Remove may now be a network
+// call (remote shards), and holding the lock across it would stall every
+// alloc, read, and spill on the healthy shards. Keys are never reused
+// (one monotone counter), so deleting after unlock cannot collide with a
+// fresh allocation.
+type removal struct {
+	backend Backend
+	key     string
+}
+
+// removeAll performs the collected backend deletions — concurrently
+// across backends, since each may be a different disk or node — and
+// keeps the first error. After a backend's first failed Remove its
+// remaining keys are skipped: a dead remote shard should cost one
+// round of bounded retries per Free, not one per chunk, and whatever
+// blobs it still holds are reaped when the shard is next adopted.
+func removeAll(removals []removal) error {
+	perBackend := make(map[Backend][]string)
+	for _, r := range removals {
+		perBackend[r.backend] = append(perBackend[r.backend], r.key)
+	}
+	errs := make(chan error, len(perBackend))
+	for b, keys := range perBackend {
+		go func(b Backend, keys []string) {
+			for _, k := range keys {
+				if err := b.Remove(k); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(b, keys)
+	}
+	var firstErr error
+	for range perBackend {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // release decrements refcounts and deletes files that reach zero. Missing
 // files (e.g. a failed write that never created one) are not errors.
 func (s *Store) release(paths []string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	var firstErr error
+	var removals []removal
 	for _, p := range paths {
 		info, ok := s.refs[p]
 		if !ok {
@@ -273,11 +341,10 @@ func (s *Store) release(paths []string) error {
 		} else {
 			sh.pending--
 		}
-		if err := os.Remove(p); err != nil && !os.IsNotExist(err) && firstErr == nil {
-			firstErr = err
-		}
+		removals = append(removals, removal{backend: sh.backend, key: p})
 	}
-	return firstErr
+	s.mu.Unlock()
+	return removeAll(removals)
 }
 
 // LiveChunks reports how many chunk files the store currently tracks.
@@ -305,7 +372,7 @@ func (s *Store) ShardStats() []ShardStat {
 	defer s.mu.Unlock()
 	out := make([]ShardStat, len(s.shards))
 	for i := range s.shards {
-		out[i] = ShardStat{Dir: s.shards[i].dir, Chunks: s.shards[i].chunks, Bytes: s.shards[i].bytes}
+		out[i] = ShardStat{Dir: s.shards[i].backend.Name(), Chunks: s.shards[i].chunks, Bytes: s.shards[i].bytes}
 	}
 	return out
 }
@@ -316,22 +383,21 @@ func (s *Store) ShardStats() []ShardStat {
 // created them).
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
-	var firstErr error
-	for p := range s.refs {
-		if err := os.Remove(p); err != nil && !os.IsNotExist(err) && firstErr == nil {
-			firstErr = err
-		}
+	var removals []removal
+	for p, info := range s.refs {
+		removals = append(removals, removal{backend: s.shards[info.shard].backend, key: p})
 	}
 	s.refs = make(map[string]*chunkInfo)
 	for i := range s.shards {
-		s.shards[i] = shard{dir: s.shards[i].dir}
+		s.shards[i] = shard{backend: s.shards[i].backend}
 	}
-	return firstErr
+	s.mu.Unlock()
+	return removeAll(removals)
 }
 
 // Matrix is a dense matrix partitioned into fixed-height row chunks, each
@@ -430,56 +496,51 @@ func Build(store *Store, rows, cols, chunkRows int, gen func(lo, hi int, dst *la
 	return m, nil
 }
 
-// writeChunkFile writes one dense chunk and attributes its size to the
-// path's shard on success.
-func (s *Store) writeChunkFile(path string, d *la.Dense) error {
-	n, err := writeChunk(path, d)
-	if err == nil {
-		s.recordWrite(path, n)
+// writeChunkFile encodes one dense chunk, stores it on the key's shard
+// backend, and attributes its size to that shard on success.
+func (s *Store) writeChunkFile(key string, d *la.Dense) error {
+	b, err := s.backendFor(key)
+	if err != nil {
+		return err
 	}
-	return err
+	raw := encodeDenseChunk(d)
+	if err := b.WriteChunk(key, raw); err != nil {
+		return err
+	}
+	s.recordWrite(key, int64(len(raw)))
+	return nil
 }
 
-// writeChunk encodes d row by row into a reusable buffer and issues one
-// buffered Write per row instead of one per element. It reports the bytes
-// written.
-func writeChunk(path string, d *la.Dense) (int64, error) {
-	f, err := os.Create(path)
+// readDenseChunk fetches key from its shard backend and decodes it as a
+// rows×cols dense chunk.
+func (s *Store) readDenseChunk(key string, rows, cols int) (*la.Dense, error) {
+	b, err := s.backendFor(key)
 	if err != nil {
-		return 0, fmt.Errorf("chunk: %w", err)
+		return nil, err
 	}
-	w := bufio.NewWriterSize(f, 1<<20)
-	cols := d.Cols()
-	buf := make([]byte, 8*cols)
+	raw, err := b.ReadChunk(key)
+	if err != nil {
+		return nil, err
+	}
+	return decodeDenseChunk(key, raw, rows, cols)
+}
+
+// encodeDenseChunk serializes d as raw little-endian float64 rows.
+func encodeDenseChunk(d *la.Dense) []byte {
 	data := d.Data()
-	var written int64
-	for off := 0; off+cols <= len(data) && cols > 0; off += cols {
-		for j, v := range data[off : off+cols] {
-			binary.LittleEndian.PutUint64(buf[j*8:], math.Float64bits(v))
-		}
-		if _, err := w.Write(buf); err != nil {
-			f.Close()
-			return 0, fmt.Errorf("chunk: %w", err)
-		}
-		written += int64(len(buf))
+	raw := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("chunk: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return 0, fmt.Errorf("chunk: %w", err)
-	}
-	return written, nil
+	return raw
 }
 
-func readChunk(path string, rows, cols int) (*la.Dense, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("chunk: %w", err)
-	}
+// decodeDenseChunk validates the blob length against the expected shape (a
+// truncated or foreign blob surfaces as an error, never garbage values) and
+// decodes it.
+func decodeDenseChunk(key string, raw []byte, rows, cols int) (*la.Dense, error) {
 	if len(raw) != rows*cols*8 {
-		return nil, fmt.Errorf("chunk: %s has %d bytes, want %d", path, len(raw), rows*cols*8)
+		return nil, fmt.Errorf("chunk: %s has %d bytes, want %d", key, len(raw), rows*cols*8)
 	}
 	data := make([]float64, rows*cols)
 	for i := range data {
@@ -499,7 +560,7 @@ func (m *Matrix) chunkBounds(i int) (lo, hi int) {
 
 func (m *Matrix) readAt(ci int) (*la.Dense, error) {
 	lo, hi := m.chunkBounds(ci)
-	return readChunk(m.paths[ci], hi-lo, m.cols)
+	return m.store.readDenseChunk(m.paths[ci], hi-lo, m.cols)
 }
 
 // Chunk decodes chunk ci and returns it with its first-row offset. It is

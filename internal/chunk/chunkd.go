@@ -1,0 +1,191 @@
+package chunk
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultMaxChunkBytes bounds the chunk blobs a ChunkServer accepts. A
+// chunk's size is set by the store's memory budget (AutoRows), so anything
+// approaching this limit indicates a misconfigured client, not a real
+// chunk.
+const DefaultMaxChunkBytes = 1 << 30 // 1 GiB
+
+// ChunkServer serves one shard directory over HTTP — the morpheus-chunkd
+// wire protocol that RemoteBackend speaks:
+//
+//	PUT    /chunks/{key}  store a chunk blob (Content-Length required,
+//	                      bounded by maxBytes; the write is atomic, so a
+//	                      client that dies mid-upload leaves nothing at key)
+//	GET    /chunks/{key}  fetch a blob (exact Content-Length set)
+//	HEAD   /chunks/{key}  stored size only
+//	DELETE /chunks/{key}  remove a blob (idempotent)
+//	GET    /chunks        list stored chunk keys, one per line
+//	DELETE /chunks        reap every stored chunk plus interrupted-spill
+//	                      temp debris; responds with the reaped count
+//
+// Keys are store-assigned chunk names (chunk-NNNNNN.bin); anything else is
+// rejected, so a request can never escape the shard directory. Blobs land
+// in the directory through the same atomic temp-file+rename path local
+// shards use, making a crashed server restartable: debris is reaped by the
+// next store that adopts the shard (DELETE /chunks).
+//
+// A ChunkServer holds no chunk state in memory — all state is the
+// directory — so it can sit behind any stock HTTP server or mux.
+type ChunkServer struct {
+	dir      string
+	backend  Backend
+	maxBytes int64
+}
+
+// NewChunkServer creates (if needed) dir and returns a handler serving it.
+// maxChunkBytes bounds accepted uploads; <=0 means DefaultMaxChunkBytes.
+func NewChunkServer(dir string, maxChunkBytes int64) (*ChunkServer, error) {
+	b, err := NewDirBackend(dir)
+	if err != nil {
+		return nil, err
+	}
+	if maxChunkBytes <= 0 {
+		maxChunkBytes = DefaultMaxChunkBytes
+	}
+	return &ChunkServer{dir: dir, backend: b, maxBytes: maxChunkBytes}, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *ChunkServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rest, ok := strings.CutPrefix(r.URL.Path, "/chunks")
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	rest = strings.TrimPrefix(rest, "/")
+	if rest == "" {
+		s.serveCollection(w, r)
+		return
+	}
+	if !validChunkKey(rest) {
+		http.Error(w, fmt.Sprintf("invalid chunk key %q", rest), http.StatusBadRequest)
+		return
+	}
+	s.serveChunk(w, r, rest)
+}
+
+// serveCollection handles the keyless /chunks endpoints: listing and reap.
+func (s *ChunkServer) serveCollection(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		keys, err := s.listKeys()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, k := range keys {
+			fmt.Fprintln(w, k)
+		}
+	case http.MethodDelete:
+		n, err := s.backend.Reap()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, n)
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// serveChunk handles the per-key verbs.
+func (s *ChunkServer) serveChunk(w http.ResponseWriter, r *http.Request, key string) {
+	switch r.Method {
+	case http.MethodPut:
+		s.put(w, r, key)
+	case http.MethodGet:
+		raw, err := s.backend.ReadChunk(key)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, os.ErrNotExist) {
+				status = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
+		w.Write(raw)
+	case http.MethodHead:
+		n, err := s.backend.BytesOf(key)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, os.ErrNotExist) {
+				status = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+	case http.MethodDelete:
+		if err := s.backend.Remove(key); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		w.Header().Set("Allow", "GET, HEAD, PUT, DELETE")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// put stores an uploaded blob. The declared Content-Length is required and
+// validated against the received bytes, so a connection cut mid-upload is
+// rejected — and because the underlying write is temp-file+rename, a
+// rejected or failed upload never leaves a partial blob at the key.
+func (s *ChunkServer) put(w http.ResponseWriter, r *http.Request, key string) {
+	if r.ContentLength < 0 {
+		http.Error(w, "Content-Length required", http.StatusLengthRequired)
+		return
+	}
+	if r.ContentLength > s.maxBytes {
+		http.Error(w, fmt.Sprintf("chunk of %d bytes exceeds the server limit of %d", r.ContentLength, s.maxBytes), http.StatusRequestEntityTooLarge)
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBytes))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading chunk body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if int64(len(raw)) != r.ContentLength {
+		http.Error(w, fmt.Sprintf("received %d bytes, Content-Length declared %d", len(raw), r.ContentLength), http.StatusBadRequest)
+		return
+	}
+	if err := s.backend.WriteChunk(key, raw); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// listKeys enumerates the stored chunk keys in sorted order.
+func (s *ChunkServer) listKeys() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("chunk: listing shard: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		if !e.IsDir() && validChunkKey(e.Name()) {
+			keys = append(keys, e.Name())
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

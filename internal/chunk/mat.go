@@ -77,7 +77,9 @@ func EncodedBytes(c la.Mat) int64 {
 // The budget covers the decoded *input* chunks. Passes that spill a chunked
 // output (StreamToMatrix, Mul, Scale, ...) additionally hold up to
 // workers+spillQueueDepth+1 output chunks per shard (one per busy worker
-// plus the bounded write-behind queues); when the output is as wide as the
+// plus the bounded write-behind queues), and each chunk being written
+// briefly holds one encoded []byte copy next to its decoded form (blobs
+// cross the Backend interface whole); when the output is as wide as the
 // input, size the budget for roughly twice the pass's input residency.
 //
 // A small budget degrades gracefully: the chunk height shrinks with the

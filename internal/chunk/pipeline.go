@@ -1,6 +1,7 @@
 package chunk
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -144,7 +145,15 @@ func newOutputSpiller(store *Store, n int, ex Exec) (*outputSpiller, error) {
 	}
 	sp := &outputSpiller{store: store, paths: paths, shards: make([]int, n)}
 	for i, p := range paths {
-		sp.shards[i] = store.shardIndex(p)
+		si := store.shardIndex(p)
+		if si < 0 {
+			// The freshly allocated path is already untracked — something
+			// released it out from under us. Surface the inconsistency
+			// instead of index-panicking in emit mid-pass.
+			store.release(paths)
+			return nil, fmt.Errorf("chunk: output chunk %s released before the spill pass started", p)
+		}
+		sp.shards[i] = si
 	}
 	if nx := ex.normalized(); nx.Workers > 1 || nx.Prefetch > 0 {
 		sp.writers = make([]*spillWriter, store.NumShards())
@@ -159,12 +168,19 @@ func newOutputSpiller(store *Store, n int, ex Exec) (*outputSpiller, error) {
 
 // emit spills chunk ci's output, possibly asynchronously through the
 // write-behind queue of the shard it was placed on. Safe for concurrent
-// use from pipeline workers.
+// use from pipeline workers. A released or foreign output path surfaces as
+// an error (writeChunkFile resolves the backend through the store's
+// tracking; the shard index is re-checked here for the async queues)
+// rather than an index panic.
 func (sp *outputSpiller) emit(ci int, out *la.Dense) error {
 	if sp.writers == nil {
 		return sp.store.writeChunkFile(sp.paths[ci], out)
 	}
-	return sp.writers[sp.shards[ci]].enqueue(sp.paths[ci], out)
+	si := sp.shards[ci]
+	if si < 0 || si >= len(sp.writers) || sp.writers[si] == nil {
+		return fmt.Errorf("chunk: output chunk %s is not tracked by this store (freed or foreign)", sp.paths[ci])
+	}
+	return sp.writers[si].enqueue(sp.paths[ci], out)
 }
 
 // finish drains every shard's write-behind queue and combines their first

@@ -1,11 +1,9 @@
 package chunk
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"math"
-	"os"
 
 	"repro/internal/la"
 )
@@ -47,8 +45,8 @@ func (m *SparseMatrix) Store() *Store { return m.store }
 
 // sparseChunkBytes is the on-disk size of one CSR chunk file: 3 header
 // words + rows+1 row pointers, then 4+8 bytes per non-zero. The single
-// source of truth for the layout that writeSparseChunk produces,
-// readSparseChunk validates, and the I/O accounting reports.
+// source of truth for the layout that encodeSparseChunk produces,
+// decodeSparseChunk validates, and the I/O accounting reports.
 func sparseChunkBytes(rows int, nnz int64) int64 {
 	return 8*int64(3+rows+1) + 12*nnz
 }
@@ -99,77 +97,75 @@ func FromCSR(store *Store, c *la.CSR, chunkRows int) (*SparseMatrix, error) {
 			store.release(paths)
 			return nil, fmt.Errorf("chunk: CSR SliceRows returned %T", c.SliceRows(lo, hi))
 		}
-		if err := writeSparseChunk(paths[ci], part); err != nil {
+		if err := store.writeSparseChunkFile(paths[ci], part); err != nil {
 			store.release(paths)
 			return nil, err
 		}
-		store.recordWrite(paths[ci], sparseChunkBytes(part.Rows(), int64(part.NNZ())))
 	}
 	return m, nil
 }
 
-// writeSparseChunk encodes c with batched buffered writes (one Write per
-// array section, not per element).
-func writeSparseChunk(path string, c *la.CSR) error {
-	f, err := os.Create(path)
+// writeSparseChunkFile encodes one CSR chunk, stores it on the key's shard
+// backend, and attributes its size to that shard on success.
+func (s *Store) writeSparseChunkFile(key string, c *la.CSR) error {
+	b, err := s.backendFor(key)
 	if err != nil {
-		return fmt.Errorf("chunk: %w", err)
+		return err
 	}
-	w := bufio.NewWriterSize(f, 1<<20)
-	fail := func(err error) error {
-		f.Close()
-		return fmt.Errorf("chunk: %w", err)
+	raw := encodeSparseChunk(c)
+	if err := b.WriteChunk(key, raw); err != nil {
+		return err
 	}
-	nnz := c.NNZ()
-	head := make([]byte, 8*3)
-	binary.LittleEndian.PutUint64(head[0:], uint64(c.Rows()))
-	binary.LittleEndian.PutUint64(head[8:], uint64(c.Cols()))
-	binary.LittleEndian.PutUint64(head[16:], uint64(nnz))
-	if _, err := w.Write(head); err != nil {
-		return fail(err)
-	}
-	buf := make([]byte, 8*(c.Rows()+1))
-	off := 0
-	binary.LittleEndian.PutUint64(buf, 0)
-	for i := 0; i < c.Rows(); i++ {
-		idx, _ := c.RowNNZ(i)
-		off += len(idx)
-		binary.LittleEndian.PutUint64(buf[8*(i+1):], uint64(off))
-	}
-	if _, err := w.Write(buf); err != nil {
-		return fail(err)
-	}
-	ibuf := make([]byte, 0, 4*nnz)
-	vbuf := make([]byte, 0, 8*nnz)
-	for i := 0; i < c.Rows(); i++ {
-		idx, vals := c.RowNNZ(i)
-		for k, j := range idx {
-			ibuf = binary.LittleEndian.AppendUint32(ibuf, uint32(j))
-			vbuf = binary.LittleEndian.AppendUint64(vbuf, math.Float64bits(vals[k]))
-		}
-	}
-	if _, err := w.Write(ibuf); err != nil {
-		return fail(err)
-	}
-	if _, err := w.Write(vbuf); err != nil {
-		return fail(err)
-	}
-	if err := w.Flush(); err != nil {
-		return fail(err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("chunk: %w", err)
-	}
+	s.recordWrite(key, int64(len(raw)))
 	return nil
 }
 
-// readSparseChunk decodes one CSR chunk, validating shape and invariants
-// (a corrupt file surfaces as an error, never a panic).
-func readSparseChunk(path string, rows, cols int) (c *la.CSR, err error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("chunk: %w", err)
+// encodeSparseChunk serializes c in the CSR chunk layout (header, row
+// pointers, column indices, values), sized exactly sparseChunkBytes.
+func encodeSparseChunk(c *la.CSR) []byte {
+	nnz := c.NNZ()
+	raw := make([]byte, 0, sparseChunkBytes(c.Rows(), int64(nnz)))
+	raw = binary.LittleEndian.AppendUint64(raw, uint64(c.Rows()))
+	raw = binary.LittleEndian.AppendUint64(raw, uint64(c.Cols()))
+	raw = binary.LittleEndian.AppendUint64(raw, uint64(nnz))
+	off := 0
+	raw = binary.LittleEndian.AppendUint64(raw, 0)
+	for i := 0; i < c.Rows(); i++ {
+		idx, _ := c.RowNNZ(i)
+		off += len(idx)
+		raw = binary.LittleEndian.AppendUint64(raw, uint64(off))
 	}
+	for i := 0; i < c.Rows(); i++ {
+		idx, _ := c.RowNNZ(i)
+		for _, j := range idx {
+			raw = binary.LittleEndian.AppendUint32(raw, uint32(j))
+		}
+	}
+	for i := 0; i < c.Rows(); i++ {
+		_, vals := c.RowNNZ(i)
+		for _, v := range vals {
+			raw = binary.LittleEndian.AppendUint64(raw, math.Float64bits(v))
+		}
+	}
+	return raw
+}
+
+// readSparseChunk fetches key from its shard backend and decodes it,
+// validating shape and invariants (a corrupt blob surfaces as an error,
+// never a panic).
+func (s *Store) readSparseChunk(key string, rows, cols int) (*la.CSR, error) {
+	b, err := s.backendFor(key)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := b.ReadChunk(key)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSparseChunk(key, raw, rows, cols)
+}
+
+func decodeSparseChunk(path string, raw []byte, rows, cols int) (c *la.CSR, err error) {
 	if len(raw) < 8*3 {
 		return nil, fmt.Errorf("chunk: %s truncated header", path)
 	}
@@ -211,7 +207,7 @@ func readSparseChunk(path string, rows, cols int) (c *la.CSR, err error) {
 
 func (m *SparseMatrix) readAt(ci int) (*la.CSR, error) {
 	lo, hi := m.chunkBounds(ci)
-	return readSparseChunk(m.paths[ci], hi-lo, m.cols)
+	return m.store.readSparseChunk(m.paths[ci], hi-lo, m.cols)
 }
 
 func (m *SparseMatrix) pipeline(ex Exec, mapFn func(ci, lo int, c *la.CSR) (any, error), commit func(ci int, v any) error) error {

@@ -47,7 +47,7 @@ func (v *IntVector) Rows() int { return v.m.rows }
 // key chunk from inside their workers.
 func (v *IntVector) Keys(ci int) (lo int, keys []int32, err error) {
 	lo, hi := v.m.chunkBounds(ci)
-	c, err := readChunk(v.m.paths[ci], hi-lo, 1)
+	c, err := v.m.readAt(ci)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -191,14 +191,15 @@ func singleDirStore(cfg Config) (*chunk.Store, func(), error) {
 }
 
 // shardedStore opens the sharded store for the comparison: the
-// user-supplied -shards directories when given, a single -shards
-// directory split into two shard subdirectories (so the comparison still
-// runs on the user's device, not the OS temp filesystem), otherwise two
-// shard subdirectories under one fresh temp root.
+// user-supplied -shards directories and/or -remote-shards chunk servers
+// when they make up more than one shard, a single -shards directory split
+// into two shard subdirectories (so the comparison still runs on the
+// user's device, not the OS temp filesystem), otherwise two shard
+// subdirectories under one fresh temp root.
 func shardedStore(cfg Config) (*chunk.Store, int, func(), error) {
-	if len(cfg.ShardDirs) > 1 {
+	if n := len(cfg.ShardDirs) + len(cfg.RemoteShards); n > 1 || len(cfg.RemoteShards) == 1 {
 		st, cleanup, err := chunkStore(cfg, "chunkshard")
-		return st, len(cfg.ShardDirs), cleanup, err
+		return st, n, cleanup, err
 	}
 	root := ""
 	removeRoot := func() {}

@@ -16,13 +16,15 @@ import (
 	"time"
 )
 
-// Result is one regenerated table or figure.
+// Result is one regenerated table or figure. The JSON field names are the
+// machine-readable benchmark format `morpheus-bench -json` emits (and CI
+// archives as bench.json), so keep them stable.
 type Result struct {
-	ID     string // e.g. "fig3", "table7"
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  string
+	ID     string     `json:"id"` // e.g. "fig3", "table7"
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  string     `json:"notes,omitempty"`
 }
 
 // Format renders the result as an aligned text table.
@@ -71,6 +73,10 @@ type Config struct {
 	// these directories (point them at different disks) with size-aware
 	// placement; it takes precedence over TmpDir.
 	ShardDirs []string
+	// RemoteShards lists morpheus-chunkd base URLs to shard the chunk
+	// stores across, alongside any ShardDirs: one store can mix local
+	// disks and remote chunk servers.
+	RemoteShards []string
 	// Workers bounds the out-of-core engine's chunk parallelism
 	// (0 = GOMAXPROCS).
 	Workers int

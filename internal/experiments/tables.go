@@ -129,11 +129,26 @@ func table8(cfg Config) (Result, error) {
 }
 
 func chunkStore(cfg Config, name string) (*chunk.Store, func(), error) {
-	if len(cfg.ShardDirs) > 0 {
-		// User-supplied shard directories (different disks) are not
-		// removed, but Close still deletes every spill file the run
-		// created, on every shard.
-		st, err := chunk.NewShardedStore(cfg.ShardDirs, chunk.LeastBytes)
+	if len(cfg.ShardDirs) > 0 || len(cfg.RemoteShards) > 0 {
+		// User-supplied shards — local directories (different disks)
+		// and/or remote chunkd servers — are not removed, but Close still
+		// deletes every spill file the run created, on every shard.
+		backends := make([]chunk.Backend, 0, len(cfg.ShardDirs)+len(cfg.RemoteShards))
+		for _, d := range cfg.ShardDirs {
+			b, err := chunk.NewDirBackend(d)
+			if err != nil {
+				return nil, nil, err
+			}
+			backends = append(backends, b)
+		}
+		for _, u := range cfg.RemoteShards {
+			b, err := chunk.NewRemoteBackend(u)
+			if err != nil {
+				return nil, nil, err
+			}
+			backends = append(backends, b)
+		}
+		st, err := chunk.NewShardedStoreBackends(backends, chunk.LeastBytes)
 		if err != nil {
 			return nil, nil, err
 		}

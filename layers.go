@@ -66,9 +66,20 @@ var (
 // matrices behind one operator interface, star-schema normalized tables,
 // and the streamed GLM / k-means drivers.
 
-// ChunkStore manages refcounted on-disk chunk files across one or more
-// shard directories.
+// ChunkStore manages refcounted chunk files across one or more shard
+// backends (local directories, remote chunk servers, or a mix).
 type ChunkStore = chunk.Store
+
+// ChunkBackend stores one shard's chunk blobs (local directory or remote
+// chunk server); implement it to put spill chunks anywhere else.
+type ChunkBackend = chunk.Backend
+
+// ChunkServer serves one shard directory over HTTP (the morpheus-chunkd
+// handler).
+type ChunkServer = chunk.ChunkServer
+
+// RemoteChunkBackend is the client side of the morpheus-chunkd protocol.
+type RemoteChunkBackend = chunk.RemoteBackend
 
 // ChunkPlacement selects how a sharded store spreads chunk files across
 // its directories.
@@ -115,24 +126,28 @@ type ChunkGNMFResult = chunk.GNMFResult
 
 // Out-of-core entry points.
 var (
-	NewChunkStore           = chunk.NewStore
-	NewShardedChunkStore    = chunk.NewShardedStore
-	ChunkBuild              = chunk.Build
-	ChunkFromDense          = chunk.FromDense
-	ChunkFromCSR            = chunk.FromCSR
-	BuildChunkIntVector     = chunk.BuildIntVector
-	NewChunkStarTable       = chunk.NewStarTable
-	AutoChunkRows           = chunk.AutoRows
-	AutoChunkRowsChecked    = chunk.AutoRowsChecked
-	ChunkSerial             = chunk.Serial
-	ChunkParallel           = chunk.Parallel
-	ChunkedLogReg           = chunk.LogRegMaterialized
-	ChunkedLogRegFactorized = chunk.LogRegFactorized
-	ChunkedKMeans           = chunk.KMeans
-	ChunkedGNMF             = chunk.GNMF
-	StreamedCrossProd       = core.StreamedCrossProd
-	StreamedMul             = core.StreamedMul
-	StreamedTMul            = core.StreamedTMul
+	NewChunkStore                = chunk.NewStore
+	NewShardedChunkStore         = chunk.NewShardedStore
+	NewShardedChunkStoreBackends = chunk.NewShardedStoreBackends
+	NewChunkDirBackend           = chunk.NewDirBackend
+	NewRemoteChunkBackend        = chunk.NewRemoteBackend
+	NewChunkServer               = chunk.NewChunkServer
+	ChunkBuild                   = chunk.Build
+	ChunkFromDense               = chunk.FromDense
+	ChunkFromCSR                 = chunk.FromCSR
+	BuildChunkIntVector          = chunk.BuildIntVector
+	NewChunkStarTable            = chunk.NewStarTable
+	AutoChunkRows                = chunk.AutoRows
+	AutoChunkRowsChecked         = chunk.AutoRowsChecked
+	ChunkSerial                  = chunk.Serial
+	ChunkParallel                = chunk.Parallel
+	ChunkedLogReg                = chunk.LogRegMaterialized
+	ChunkedLogRegFactorized      = chunk.LogRegFactorized
+	ChunkedKMeans                = chunk.KMeans
+	ChunkedGNMF                  = chunk.GNMF
+	StreamedCrossProd            = core.StreamedCrossProd
+	StreamedMul                  = core.StreamedMul
+	StreamedTMul                 = core.StreamedTMul
 )
 
 // Serving layer (internal/serve): concurrent batched scoring over a
