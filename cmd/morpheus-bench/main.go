@@ -12,6 +12,8 @@
 //	morpheus-bench -chunked -mem 64     # ... under a 64 MB chunk budget
 //	morpheus-bench -chunked -shards /disk1/spill,/disk2/spill
 //	morpheus-bench -chunked -remote-shards http://node1:9431,http://node2:9431
+//	morpheus-bench -chunked -remote-shards http://node1:9431 -pushdown
+//	morpheus-bench -exp chunkpar -inproc-chunkd 2 -pushdown -json
 //	morpheus-bench -exp fig3 -json > bench.json
 //
 // Each experiment prints a text table with the materialized (M) and
@@ -31,6 +33,13 @@
 // chunk servers as shards next to (or instead of) the local directories,
 // so spills stream to other nodes.
 //
+// -pushdown ships op-based per-chunk maps (crossprod, colsums, sum, the
+// k-means assignment pass) to the remote shards' /exec endpoints instead
+// of streaming their chunks back; every experiment still asserts the
+// results identical to the all-local run. -inproc-chunkd N starts N
+// in-process chunkd workers on loopback and adds them to -remote-shards —
+// the single-binary smoke configuration CI runs.
+//
 // -json replaces the text tables with one JSON array of results on stdout
 // (the schema is experiments.Result: id/title/header/rows/notes), the
 // machine-readable record CI archives per run so the performance
@@ -41,37 +50,49 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
+	"repro/internal/chunk"
 	"repro/internal/experiments"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "morpheus-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		exp     = flag.String("exp", "", "experiment ID (or 'all')")
-		scale   = flag.Float64("scale", 1, "workload scale factor (1 = laptop defaults)")
-		seed    = flag.Int64("seed", 1, "data generation seed")
-		tmpdir  = flag.String("tmpdir", "", "directory for out-of-core chunk stores (default: system temp)")
-		shards  = flag.String("shards", "", "comma-separated shard directories for the out-of-core chunk stores (different disks); overrides -tmpdir")
-		remote  = flag.String("remote-shards", "", "comma-separated morpheus-chunkd base URLs to shard the out-of-core chunk stores across, alongside -shards")
-		workers = flag.Int("workers", 0, "out-of-core chunk workers (0 = GOMAXPROCS)")
-		mem     = flag.Int("mem", 0, "out-of-core decoded-chunk memory budget in MB; chunk heights are autotuned from it (0 = 256)")
-		chunked = flag.Bool("chunked", false, "run the out-of-core suite (chunkpar, chunkstar, table9, table10)")
-		asJSON  = flag.Bool("json", false, "emit results as one JSON array on stdout instead of text tables")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		exp      = flag.String("exp", "", "experiment ID (or 'all')")
+		scale    = flag.Float64("scale", 1, "workload scale factor (1 = laptop defaults)")
+		seed     = flag.Int64("seed", 1, "data generation seed")
+		tmpdir   = flag.String("tmpdir", "", "directory for out-of-core chunk stores (default: system temp)")
+		shards   = flag.String("shards", "", "comma-separated shard directories for the out-of-core chunk stores (different disks); overrides -tmpdir")
+		remote   = flag.String("remote-shards", "", "comma-separated morpheus-chunkd base URLs to shard the out-of-core chunk stores across, alongside -shards")
+		inproc   = flag.Int("inproc-chunkd", 0, "start N in-process chunkd workers on loopback and add them to -remote-shards (pushdown smoke testing)")
+		pushdown = flag.Bool("pushdown", false, "run op-based per-chunk maps on the remote shards holding the chunks (/exec) instead of streaming chunks back")
+		workers  = flag.Int("workers", 0, "out-of-core chunk workers (0 = GOMAXPROCS)")
+		mem      = flag.Int("mem", 0, "out-of-core decoded-chunk memory budget in MB; chunk heights are autotuned from it (0 = 256)")
+		chunked  = flag.Bool("chunked", false, "run the out-of-core suite (chunkpar, chunkstar, table9, table10)")
+		asJSON   = flag.Bool("json", false, "emit results as one JSON array on stdout instead of text tables")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
-		return
+		return nil
 	}
 	if *exp == "" && !*chunked {
 		fmt.Fprintln(os.Stderr, "morpheus-bench: -exp is required (try -list or -chunked)")
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, TmpDir: *tmpdir, Workers: *workers, MemBudgetMB: *mem}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, TmpDir: *tmpdir, Workers: *workers, MemBudgetMB: *mem, Pushdown: *pushdown}
 	if *shards != "" {
 		for _, d := range strings.Split(*shards, ",") {
 			if d = strings.TrimSpace(d); d != "" {
@@ -85,6 +106,14 @@ func main() {
 				cfg.RemoteShards = append(cfg.RemoteShards, u)
 			}
 		}
+	}
+	if *inproc > 0 {
+		urls, stop, err := startInprocChunkd(*inproc)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		cfg.RemoteShards = append(cfg.RemoteShards, urls...)
 	}
 	var ids []string
 	switch {
@@ -103,8 +132,7 @@ func main() {
 	for _, id := range ids {
 		res, err := experiments.Run(id, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "morpheus-bench: %s: %v\n", id, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %v", id, err)
 		}
 		if seen[res.ID] { // fig6/fig7 and fig11/fig12 share runners
 			continue
@@ -120,8 +148,47 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(results); err != nil {
-			fmt.Fprintf(os.Stderr, "morpheus-bench: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
+	return nil
+}
+
+// startInprocChunkd starts n chunkd workers on loopback listeners, each
+// serving its own temp shard directory, and returns their base URLs plus a
+// cleanup that stops the servers and removes the directories.
+func startInprocChunkd(n int) (urls []string, stop func(), err error) {
+	var servers []*http.Server
+	var dirs []string
+	stop = func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+		for _, d := range dirs {
+			os.RemoveAll(d)
+		}
+	}
+	for i := 0; i < n; i++ {
+		dir, err := os.MkdirTemp("", "morpheus-chunkd-*")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		dirs = append(dirs, dir)
+		cs, err := chunk.NewChunkServer(dir, 0)
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		srv := &http.Server{Handler: cs}
+		servers = append(servers, srv)
+		go srv.Serve(ln)
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	return urls, stop, nil
 }

@@ -1,6 +1,8 @@
-// Command morpheus-chunkd serves one chunk-store shard directory over HTTP,
-// so a sharded out-of-core store on another machine can place spill chunks
-// here (chunk.NewRemoteBackend / morpheus-bench -remote-shards).
+// Command morpheus-chunkd serves one chunk-store shard directory over HTTP
+// — and executes ops on the chunks it holds — so a sharded out-of-core
+// store on another machine can place spill chunks here
+// (chunk.NewRemoteBackend / morpheus-bench -remote-shards) and, with
+// pushdown, map them in place instead of streaming them back.
 //
 // Usage:
 //
@@ -11,9 +13,13 @@
 // for chunk blobs, GET /chunks for the stored-key listing, DELETE /chunks
 // to reap every chunk plus interrupted-spill temp debris (the remote
 // analogue of startup orphan reaping — the store issues it when it adopts
-// the shard). Uploads above -max-chunk-mb are rejected; writes are atomic
-// (temp file + rename), so a client or server crash never leaves a
-// truncated chunk readable.
+// the shard). POST /exec runs a registered per-chunk op (crossprod,
+// colsums, sum, kmeans-assign) over listed local chunks and streams back
+// the encoded partials in request order, so only partials — not chunks —
+// cross the wire; the driver remains the reducer and results are
+// bit-identical with an all-local pass. Uploads above -max-chunk-mb are
+// rejected; writes are atomic (temp file + rename), so a client or server
+// crash never leaves a truncated chunk readable.
 //
 // Run one chunkd shard per store: adopting a shard reaps whatever a
 // previous (crashed) run left in it.

@@ -292,6 +292,44 @@ func remoteShardDemo(rng *rand.Rand) {
 		}
 		fmt.Printf("  %-13s %-26s %2d chunks, %.1f MB\n", kind, sh.Dir, sh.Chunks, float64(sh.Bytes)/(1<<20))
 	}
+
+	// Pushdown: the same pass with Exec.Pushdown maps chunks held by the
+	// chunkd worker in place (POST /exec) — only the partials travel back —
+	// and the ordered reduction keeps the result bit-identical.
+	xpLocal, err := tM.CrossProdExec(ex)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exPush := ex
+	exPush.Pushdown = true
+	t0 = time.Now()
+	xpPush, err := tM.CrossProdExec(exPush)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if la.MaxAbsDiff(xpLocal, xpPush) != 0 {
+		log.Fatal("pushdown crossprod diverged from the all-local pass")
+	}
+	kmLocal, err := chunk.KMeansExec(ex, tM, 4, 2, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kmPush, err := chunk.KMeansExec(exPush, tM, 4, 2, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if la.MaxAbsDiff(kmLocal.Centroids, kmPush.Centroids) != 0 {
+		log.Fatal("pushdown k-means diverged from the all-local pass")
+	}
+	if err := kmLocal.Assign.Free(); err != nil {
+		log.Fatal(err)
+	}
+	if err := kmPush.Assign.Free(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pushdown: crossprod + k-means mapped on the chunkd worker in %v, bit-identical to local\n",
+		time.Since(t0).Round(time.Millisecond))
+
 	if err := tM.Free(); err != nil {
 		log.Fatal(err)
 	}

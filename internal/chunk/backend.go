@@ -44,6 +44,11 @@ type Backend interface {
 	Reap() (int, error)
 	// BytesOf reports the stored size of the blob under key.
 	BytesOf(key string) (int64, error)
+	// List returns the valid chunk keys currently stored, sorted. Write
+	// debris (*.tmp) and foreign files are excluded here, so wrapped
+	// backends (compression, zone maps) and the chunk server's listing all
+	// share one notion of "what is a chunk".
+	List() ([]string, error)
 }
 
 // tmpSuffix marks an in-progress dirBackend spill. writeChunkFile goes
@@ -126,6 +131,23 @@ func (b *dirBackend) Reap() (int, error) {
 		}
 	}
 	return reaped, nil
+}
+
+// List returns the chunk keys in the directory, sorted (os.ReadDir order),
+// skipping *.tmp debris and anything else that is not a valid chunk key.
+func (b *dirBackend) List() ([]string, error) {
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, fmt.Errorf("chunk: %w", err)
+	}
+	keys := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || !validChunkKey(e.Name()) {
+			continue
+		}
+		keys = append(keys, e.Name())
+	}
+	return keys, nil
 }
 
 func (b *dirBackend) BytesOf(key string) (int64, error) {

@@ -139,3 +139,45 @@ func TestSpillerForeignShardIndexSurfacesError(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDirBackendList pins the Backend.List contract the chunk server's
+// key listing (and remote-shard adoption) is built on: only valid chunk
+// keys come back, sorted — .tmp spill debris, foreign files, and
+// subdirectories are invisible.
+func TestDirBackendList(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewDirBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"chunk-000002.bin", "chunk-000010.bin", "chunk-000001.bin"} {
+		if err := b.WriteChunk(key, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, debris := range []string{
+		"chunk-000003.bin" + tmpSuffix, // interrupted spill
+		"notes.txt",                    // foreign file
+		"chunk-abc.bin",                // malformed key
+	} {
+		if err := os.WriteFile(filepath.Join(dir, debris), []byte{2}, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "chunk-000099.bin"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := b.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"chunk-000001.bin", "chunk-000002.bin", "chunk-000010.bin"}
+	if len(keys) != len(want) {
+		t.Fatalf("List() = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("List() = %v, want %v", keys, want)
+		}
+	}
+}

@@ -239,6 +239,22 @@ func (s *Store) backendFor(key string) (Backend, error) {
 	return s.shards[info.shard].backend, nil
 }
 
+// execBackendFor resolves the shard index and worker capability of a
+// tracked chunk key; (-1, nil) when the key's shard is passive storage or
+// the key is untracked (the read path surfaces the tracking error).
+func (s *Store) execBackendFor(key string) (int, ExecBackend) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.refs[key]
+	if !ok {
+		return -1, nil
+	}
+	if eb, ok := s.shards[info.shard].backend.(ExecBackend); ok {
+		return info.shard, eb
+	}
+	return -1, nil
+}
+
 // shardIndex reports which shard a chunk path was placed on (-1 when the
 // path is no longer tracked).
 func (s *Store) shardIndex(path string) int {
@@ -657,6 +673,29 @@ func (m *Matrix) Stream(ex Exec, mapFn func(ci, lo int, c la.Mat) (any, error), 
 	}, commit)
 }
 
+// StreamOp implements Mat: it runs a registered op over every chunk and
+// commits the partials in chunk order. With ex.Pushdown, chunks held by
+// exec-capable remote shards are mapped in place by the shard's worker
+// and only the partials travel back; results are bit-identical with the
+// all-local run either way.
+func (m *Matrix) StreamOp(ex Exec, op Op, commit func(ci int, v any) error) error {
+	if m.freed {
+		return ErrFreed
+	}
+	src := opSource{
+		store: m.store,
+		keys:  m.paths,
+		kind:  chunkKindDense,
+		cols:  m.cols,
+		rowsAt: func(ci int) int {
+			lo, hi := m.chunkBounds(ci)
+			return hi - lo
+		},
+		read: func(ci int) (la.Mat, error) { return m.readAt(ci) },
+	}
+	return src.runOp(ex, op, commit)
+}
+
 // StreamToMatrix implements Mat: MapChunksToMatrix with the chunk exposed
 // as an la.Mat.
 func (m *Matrix) StreamToMatrix(ex Exec, outCols int, f func(ci, lo int, c la.Mat) (*la.Dense, error)) (*Matrix, error) {
@@ -717,12 +756,12 @@ func (m *Matrix) TMulExec(ex Exec, x *la.Dense) (*la.Dense, error) {
 // CrossProd computes mᵀ·m by accumulating per-chunk cross-products.
 func (m *Matrix) CrossProd() (*la.Dense, error) { return m.CrossProdExec(Parallel()) }
 
-// CrossProdExec computes mᵀ·m under the given execution.
+// CrossProdExec computes mᵀ·m under the given execution. The per-chunk
+// cross-products run through the registered op, so with ex.Pushdown they
+// execute on the shard holding each chunk.
 func (m *Matrix) CrossProdExec(ex Exec) (*la.Dense, error) {
 	acc := la.NewDense(m.cols, m.cols)
-	err := m.pipeline(ex, func(ci, lo int, c *la.Dense) (any, error) {
-		return c.CrossProd(), nil
-	}, func(ci int, v any) error {
+	err := m.StreamOp(ex, OpCrossProd(), func(ci int, v any) error {
 		acc.AddInPlace(v.(*la.Dense))
 		return nil
 	})
@@ -745,21 +784,18 @@ func (m *Matrix) ScaleExec(ex Exec, x float64) (*Matrix, error) {
 // ColSums aggregates column sums in one pass.
 func (m *Matrix) ColSums() (*la.Dense, error) { return m.ColSumsExec(Parallel()) }
 
-// ColSumsExec aggregates column sums under the given execution.
+// ColSumsExec aggregates column sums under the given execution, via the
+// registered op (pushdown-capable).
 func (m *Matrix) ColSumsExec(ex Exec) (*la.Dense, error) {
-	acc := make([]float64, m.cols)
-	err := m.pipeline(ex, func(ci, lo int, c *la.Dense) (any, error) {
-		return c.ColSumsVec(), nil
-	}, func(ci int, v any) error {
-		for j, s := range v.([]float64) {
-			acc[j] += s
-		}
+	acc := la.NewDense(1, m.cols)
+	err := m.StreamOp(ex, OpColSums(), func(ci int, v any) error {
+		acc.AddInPlace(v.(*la.Dense))
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return la.RowVector(acc), nil
+	return acc, nil
 }
 
 // RowSums computes row sums into a chunked n×1 matrix.
@@ -775,12 +811,11 @@ func (m *Matrix) RowSumsExec(ex Exec) (*Matrix, error) {
 // Sum aggregates the grand total in one pass.
 func (m *Matrix) Sum() (float64, error) { return m.SumExec(Parallel()) }
 
-// SumExec aggregates the grand total under the given execution.
+// SumExec aggregates the grand total under the given execution, via the
+// registered op (pushdown-capable).
 func (m *Matrix) SumExec(ex Exec) (float64, error) {
 	total := 0.0
-	err := m.pipeline(ex, func(ci, lo int, c *la.Dense) (any, error) {
-		return c.SumAll(), nil
-	}, func(ci int, v any) error {
+	err := m.StreamOp(ex, OpSum(), func(ci int, v any) error {
 		total += v.(float64)
 		return nil
 	})

@@ -1,14 +1,17 @@
 package chunk
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/la"
 )
 
 // DefaultMaxChunkBytes bounds the chunk blobs a ChunkServer accepts. A
@@ -29,6 +32,9 @@ const DefaultMaxChunkBytes = 1 << 30 // 1 GiB
 //	GET    /chunks        list stored chunk keys, one per line
 //	DELETE /chunks        reap every stored chunk plus interrupted-spill
 //	                      temp debris; responds with the reaped count
+//	POST   /exec          run a registered op over locally stored chunks
+//	                      and stream back the encoded partials, in request
+//	                      order (see the framing in exec.go)
 //
 // Keys are store-assigned chunk names (chunk-NNNNNN.bin); anything else is
 // rejected, so a request can never escape the shard directory. Blobs land
@@ -59,6 +65,10 @@ func NewChunkServer(dir string, maxChunkBytes int64) (*ChunkServer, error) {
 
 // ServeHTTP implements http.Handler.
 func (s *ChunkServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/exec" {
+		s.serveExec(w, r)
+		return
+	}
 	rest, ok := strings.CutPrefix(r.URL.Path, "/chunks")
 	if !ok {
 		http.NotFound(w, r)
@@ -80,7 +90,7 @@ func (s *ChunkServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *ChunkServer) serveCollection(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		keys, err := s.listKeys()
+		keys, err := s.backend.List()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -120,7 +130,11 @@ func (s *ChunkServer) serveChunk(w http.ResponseWriter, r *http.Request, key str
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
-		w.Write(raw)
+		if _, err := w.Write(raw); err != nil {
+			// The client is gone (it will see the cut and retry); log so a
+			// half-sent chunk is visible server-side.
+			log.Printf("morpheus-chunkd: sending %s: %v", key, err)
+		}
 	case http.MethodHead:
 		n, err := s.backend.BytesOf(key)
 		if err != nil {
@@ -160,6 +174,14 @@ func (s *ChunkServer) put(w http.ResponseWriter, r *http.Request, key string) {
 	}
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBytes))
 	if err != nil {
+		// A body overrunning the reader's limit is the same protocol
+		// violation as an over-limit Content-Length; answer 413 for both
+		// instead of a generic 400.
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("chunk body exceeds the server limit of %d", s.maxBytes), http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, fmt.Sprintf("reading chunk body: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -174,18 +196,109 @@ func (s *ChunkServer) put(w http.ResponseWriter, r *http.Request, key string) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// listKeys enumerates the stored chunk keys in sorted order.
-func (s *ChunkServer) listKeys() ([]string, error) {
-	entries, err := os.ReadDir(s.dir)
-	if err != nil {
-		return nil, fmt.Errorf("chunk: listing shard: %w", err)
+// serveExec runs a registered op over locally stored chunks — the worker
+// half of pushdown. Partial frames stream back in request order, flushed
+// as they complete, through the same ordered-commit pipeline the driver
+// uses locally; a per-chunk failure after streaming has begun is reported
+// in-band as an error frame (the HTTP status is already committed).
+func (s *ChunkServer) serveExec(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
 	}
-	var keys []string
-	for _, e := range entries {
-		if !e.IsDir() && validChunkKey(e.Name()) {
-			keys = append(keys, e.Name())
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("exec request exceeds the server limit of %d", s.maxBytes), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, fmt.Sprintf("reading exec request: %v", err), http.StatusBadRequest)
+		return
+	}
+	var req execRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, fmt.Sprintf("decoding exec request: %v", err), http.StatusBadRequest)
+		return
+	}
+	st, err := prepareOp(Op{Name: req.Op, Params: req.Params})
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrUnknownOp) {
+			// Not implemented: the client treats this as "no pushdown
+			// here" and falls back, same as a pre-/exec server.
+			status = http.StatusNotImplemented
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	if req.Kind != chunkKindDense && req.Kind != chunkKindCSR {
+		http.Error(w, fmt.Sprintf("unknown chunk kind %q", req.Kind), http.StatusBadRequest)
+		return
+	}
+	if req.Cols <= 0 {
+		http.Error(w, fmt.Sprintf("invalid cols %d", req.Cols), http.StatusBadRequest)
+		return
+	}
+	if len(req.Chunks) == 0 {
+		http.Error(w, "no chunks requested", http.StatusBadRequest)
+		return
+	}
+	for _, c := range req.Chunks {
+		if !validChunkKey(c.Key) {
+			http.Error(w, fmt.Sprintf("invalid chunk key %q", c.Key), http.StatusBadRequest)
+			return
+		}
+		if c.Rows <= 0 {
+			http.Error(w, fmt.Sprintf("invalid rows %d for %s", c.Rows, c.Key), http.StatusBadRequest)
+			return
 		}
 	}
-	sort.Strings(keys)
-	return keys, nil
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	read := func(ci int) (la.Mat, error) {
+		c := req.Chunks[ci]
+		raw, err := s.backend.ReadChunk(c.Key)
+		if err != nil {
+			return nil, err
+		}
+		if req.Kind == chunkKindCSR {
+			return decodeSparseChunk(c.Key, raw, c.Rows, req.Cols)
+		}
+		return decodeDenseChunk(c.Key, raw, c.Rows, req.Cols)
+	}
+	err = runPipeline(len(req.Chunks), Parallel(), read,
+		func(ci int, c la.Mat) (any, error) {
+			v, err := st.apply(c)
+			if err != nil {
+				return nil, err
+			}
+			return st.encodePartial(v)
+		},
+		func(ci int, v any) error {
+			if err := writePartialFrame(w, v.([]byte)); err != nil {
+				return err
+			}
+			flush()
+			return nil
+		})
+	if err != nil {
+		// Best effort: the client treats a failed error frame (cut
+		// connection) the same way — fall back for the remaining chunks.
+		if werr := writeErrorFrame(w, err.Error()); werr == nil {
+			flush()
+		}
+		return
+	}
+	if err := writeEndFrame(w); err == nil {
+		flush()
+	}
 }

@@ -36,6 +36,31 @@ type kmPart struct {
 	bytes  int64
 }
 
+// kmeansAssignPartial computes one chunk's assignment partial for fixed
+// centroids: expand the pairwise squared distances ‖t_i‖² + ‖c_j‖² −
+// 2·t_i·c_j from the chunk's T·C product, take the per-row argmin (ties
+// toward the lowest cluster index, like ml.KMeans), and return the chunk's
+// centroid numerators chunkᵀ·A and cluster counts. It is the body of
+// OpKMeansAssign, shared by the driver's workers and the chunkd worker so
+// pushed-down iterations reduce bit-identically.
+func kmeansAssignPartial(ch la.Mat, c *la.Dense, cNorm []float64) kmPart {
+	rows, k := ch.Rows(), c.Cols()
+	tc := ch.Mul(c) // rows×k (LMM)
+	dt := rowSquaredNorms(ch)
+	a := la.NewDense(rows, k)
+	for i := 0; i < rows; i++ {
+		row := tc.Row(i)
+		best, bestD := 0, dt[i]+cNorm[0]-2*row[0]
+		for j := 1; j < k; j++ {
+			if dd := dt[i] + cNorm[j] - 2*row[j]; dd < bestD {
+				best, bestD = j, dd
+			}
+		}
+		a.Set(i, best, 1)
+	}
+	return kmPart{sums: ch.TMul(a), counts: a.ColSumsVec(), bytes: EncodedBytes(ch)}
+}
+
 // KMeansExec runs streamed k-means under the given execution. Each
 // iteration is one pass over the chunks: workers expand the pairwise
 // squared distances ‖t_i‖² + ‖c_j‖² − 2·t_i·c_j from a per-chunk T·C
@@ -65,26 +90,12 @@ func KMeansExec(ex Exec, t Mat, k, iters int, seed int64) (*KMeansResult, error)
 	var bytesRead int64
 
 	for it := 0; it < iters; it++ {
-		cNorm := c.PowDense(2).ColSumsVec()
 		sums := la.NewDense(d, k)
 		counts := make([]float64, k)
-		err := t.Stream(ex, func(ci, lo int, ch la.Mat) (any, error) {
-			rows := ch.Rows()
-			tc := ch.Mul(c) // rows×k (LMM)
-			dt := rowSquaredNorms(ch)
-			a := la.NewDense(rows, k)
-			for i := 0; i < rows; i++ {
-				row := tc.Row(i)
-				best, bestD := 0, dt[i]+cNorm[0]-2*row[0]
-				for j := 1; j < k; j++ {
-					if dd := dt[i] + cNorm[j] - 2*row[j]; dd < bestD {
-						best, bestD = j, dd
-					}
-				}
-				a.Set(i, best, 1)
-			}
-			return kmPart{sums: ch.TMul(a), counts: a.ColSumsVec(), bytes: EncodedBytes(ch)}, nil
-		}, func(ci int, v any) error {
+		// The assignment pass is a registered op (the centroids travel in
+		// the op params), so with ex.Pushdown each chunk's distance+argmin
+		// expansion runs on the shard holding it.
+		err := t.StreamOp(ex, OpKMeansAssign(c), func(ci int, v any) error {
 			pt := v.(kmPart)
 			sums.AddInPlace(pt.sums)
 			for j, cv := range pt.counts {

@@ -36,6 +36,12 @@ type Mat interface {
 	// count, outCols columns) and spills the results as a new chunked
 	// matrix aligned with the input's chunking.
 	StreamToMatrix(ex Exec, outCols int, f func(ci, lo int, c la.Mat) (*la.Dense, error)) (*Matrix, error)
+	// StreamOp is Stream for registered ops: because the per-chunk map is
+	// named rather than a closure, an Exec with Pushdown ships it to the
+	// shard holding each chunk and only the partials travel back, with
+	// commit still running in ascending chunk order — results are
+	// bit-identical with the all-local run.
+	StreamOp(ex Exec, op Op, commit func(ci int, v any) error) error
 
 	// Whole-matrix operators, mirroring la.Mat's Mul/TMul/CrossProd/
 	// ColSums/Sum under an explicit execution.

@@ -1,0 +1,229 @@
+package chunk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+)
+
+// Op names a per-chunk map whose partials reduce associatively on the
+// driver. Ops are registered by name so the exact same apply code runs on
+// the driver's workers and on a remote chunkd worker: a pushed-down pass
+// merges bit-identically with the all-local run because the per-chunk
+// floating-point work is byte-for-byte the same and the committer reduces
+// in ascending chunk order either way.
+//
+// Params carries the op's closure state (e.g. the k-means centroids) as an
+// opaque blob produced by the Op constructors below; both sides decode it
+// with the same registry entry.
+type Op struct {
+	Name   string
+	Params []byte
+}
+
+// ErrUnknownOp reports an op name absent from the registry (e.g. a newer
+// client against an older chunkd).
+var ErrUnknownOp = errors.New("chunk: unknown op")
+
+// opState is a prepared op: immutable after construction, so one instance
+// is shared safely by all pipeline workers.
+type opState interface {
+	// apply runs the per-chunk map. The returned value is what the
+	// driver-side committer sees — the same Go value whether the chunk was
+	// mapped locally or remotely.
+	apply(c la.Mat) (any, error)
+	// encodePartial and decodePartial serialize apply's result for the
+	// /exec wire. Floats travel as raw IEEE-754 bit patterns, so the
+	// round-trip is lossless.
+	encodePartial(v any) ([]byte, error)
+	decodePartial(raw []byte) (any, error)
+}
+
+var opRegistry = map[string]func(params []byte) (opState, error){
+	"crossprod": func(params []byte) (opState, error) {
+		if len(params) != 0 {
+			return nil, fmt.Errorf("chunk: op crossprod takes no params")
+		}
+		return denseReduceOp{f: func(c la.Mat) *la.Dense { return c.CrossProd() }}, nil
+	},
+	"colsums": func(params []byte) (opState, error) {
+		if len(params) != 0 {
+			return nil, fmt.Errorf("chunk: op colsums takes no params")
+		}
+		return denseReduceOp{f: func(c la.Mat) *la.Dense { return c.ColSums() }}, nil
+	},
+	"sum": func(params []byte) (opState, error) {
+		if len(params) != 0 {
+			return nil, fmt.Errorf("chunk: op sum takes no params")
+		}
+		return sumOp{}, nil
+	},
+	"kmeans-assign": func(params []byte) (opState, error) {
+		cent, rest, err := readDenseBlob(params)
+		if err != nil {
+			return nil, fmt.Errorf("chunk: op kmeans-assign params: %w", err)
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("chunk: op kmeans-assign params: %d trailing bytes", len(rest))
+		}
+		return kmeansAssignOp{cent: cent, cNorm: cent.PowDense(2).ColSumsVec()}, nil
+	},
+}
+
+// OpCrossProd names the AᵀA partial: each chunk contributes chunkᵀ·chunk.
+func OpCrossProd() Op { return Op{Name: "crossprod"} }
+
+// OpColSums names the column-sum partial: each chunk contributes its 1×d
+// column sums.
+func OpColSums() Op { return Op{Name: "colsums"} }
+
+// OpSum names the scalar-sum partial.
+func OpSum() Op { return Op{Name: "sum"} }
+
+// OpKMeansAssign names one k-means assignment pass against the given d×k
+// centroids: each chunk contributes its centroid numerators chunkᵀ·A and
+// cluster counts (A the one-hot argmin matrix, ties toward the lowest
+// cluster index).
+func OpKMeansAssign(centroids *la.Dense) Op {
+	return Op{Name: "kmeans-assign", Params: appendDenseBlob(nil, centroids)}
+}
+
+// prepareOp resolves an Op against the registry.
+func prepareOp(op Op) (opState, error) {
+	mk, ok := opRegistry[op.Name]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownOp, op.Name)
+	}
+	return mk(op.Params)
+}
+
+// denseReduceOp covers ops whose partial is a single dense matrix reduced
+// by element-wise addition (crossprod, colsums).
+type denseReduceOp struct {
+	f func(c la.Mat) *la.Dense
+}
+
+func (o denseReduceOp) apply(c la.Mat) (any, error) { return o.f(c), nil }
+
+func (o denseReduceOp) encodePartial(v any) ([]byte, error) {
+	d, ok := v.(*la.Dense)
+	if !ok {
+		return nil, fmt.Errorf("chunk: dense op partial is %T, want *la.Dense", v)
+	}
+	return appendDenseBlob(nil, d), nil
+}
+
+func (o denseReduceOp) decodePartial(raw []byte) (any, error) {
+	d, rest, err := readDenseBlob(raw)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("chunk: dense partial: %d trailing bytes", len(rest))
+	}
+	return d, nil
+}
+
+// sumOp's partial is one float64.
+type sumOp struct{}
+
+func (sumOp) apply(c la.Mat) (any, error) { return c.Sum(), nil }
+
+func (sumOp) encodePartial(v any) ([]byte, error) {
+	f, ok := v.(float64)
+	if !ok {
+		return nil, fmt.Errorf("chunk: sum partial is %T, want float64", v)
+	}
+	return binary.LittleEndian.AppendUint64(nil, math.Float64bits(f)), nil
+}
+
+func (sumOp) decodePartial(raw []byte) (any, error) {
+	if len(raw) != 8 {
+		return nil, fmt.Errorf("chunk: sum partial is %d bytes, want 8", len(raw))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(raw)), nil
+}
+
+// kmeansAssignOp maps a chunk to its kmPart for fixed centroids.
+type kmeansAssignOp struct {
+	cent  *la.Dense
+	cNorm []float64
+}
+
+func (o kmeansAssignOp) apply(c la.Mat) (any, error) {
+	return kmeansAssignPartial(c, o.cent, o.cNorm), nil
+}
+
+func (o kmeansAssignOp) encodePartial(v any) ([]byte, error) {
+	pt, ok := v.(kmPart)
+	if !ok {
+		return nil, fmt.Errorf("chunk: kmeans-assign partial is %T, want kmPart", v)
+	}
+	raw := appendDenseBlob(nil, pt.sums)
+	raw = binary.LittleEndian.AppendUint64(raw, uint64(len(pt.counts)))
+	for _, cv := range pt.counts {
+		raw = binary.LittleEndian.AppendUint64(raw, math.Float64bits(cv))
+	}
+	return binary.LittleEndian.AppendUint64(raw, uint64(pt.bytes)), nil
+}
+
+func (o kmeansAssignOp) decodePartial(raw []byte) (any, error) {
+	sums, rest, err := readDenseBlob(raw)
+	if err != nil {
+		return nil, fmt.Errorf("chunk: kmeans-assign partial: %w", err)
+	}
+	if len(rest) < 8 {
+		return nil, fmt.Errorf("chunk: kmeans-assign partial: truncated counts")
+	}
+	k := binary.LittleEndian.Uint64(rest)
+	rest = rest[8:]
+	if k > uint64(1)<<24 || uint64(len(rest)) != (k+1)*8 {
+		return nil, fmt.Errorf("chunk: kmeans-assign partial: bad counts length %d", k)
+	}
+	counts := make([]float64, k)
+	for j := range counts {
+		counts[j] = math.Float64frombits(binary.LittleEndian.Uint64(rest[j*8:]))
+	}
+	bytes := binary.LittleEndian.Uint64(rest[k*8:])
+	return kmPart{sums: sums, counts: counts, bytes: int64(bytes)}, nil
+}
+
+// appendDenseBlob serializes a dense matrix as uint64 rows, uint64 cols,
+// then rows·cols float64 bit patterns, all little-endian.
+func appendDenseBlob(raw []byte, d *la.Dense) []byte {
+	raw = binary.LittleEndian.AppendUint64(raw, uint64(d.Rows()))
+	raw = binary.LittleEndian.AppendUint64(raw, uint64(d.Cols()))
+	for _, v := range d.Data() {
+		raw = binary.LittleEndian.AppendUint64(raw, math.Float64bits(v))
+	}
+	return raw
+}
+
+// readDenseBlob decodes one appendDenseBlob matrix and returns the
+// remaining bytes.
+func readDenseBlob(raw []byte) (*la.Dense, []byte, error) {
+	if len(raw) < 16 {
+		return nil, nil, fmt.Errorf("dense blob: %d bytes, want ≥16", len(raw))
+	}
+	rows := binary.LittleEndian.Uint64(raw)
+	cols := binary.LittleEndian.Uint64(raw[8:])
+	if rows > uint64(1)<<31 || cols > uint64(1)<<31 {
+		return nil, nil, fmt.Errorf("dense blob: implausible shape %dx%d", rows, cols)
+	}
+	cells := rows * cols
+	if cells > uint64(1)<<32 {
+		return nil, nil, fmt.Errorf("dense blob: implausible size %dx%d", rows, cols)
+	}
+	need := 16 + cells*8
+	if uint64(len(raw)) < need {
+		return nil, nil, fmt.Errorf("dense blob: %d bytes, want %d for %dx%d", len(raw), need, rows, cols)
+	}
+	data := make([]float64, cells)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[16+i*8:]))
+	}
+	return la.NewDenseData(int(rows), int(cols), data), raw[need:], nil
+}

@@ -21,6 +21,13 @@ type Exec struct {
 	// Prefetch=1 is the classic double-buffered pipeline: the next chunk
 	// is read while the current one is computed.
 	Prefetch int
+	// Pushdown ships op-based passes (StreamOp and the operators built on
+	// it) to exec-capable remote shards: chunks held by a chunkd worker
+	// are mapped in place and only the partials travel back, while local
+	// chunks run through the usual worker pipeline. Results are
+	// bit-identical with the all-local run; shards that cannot execute
+	// (or fail mid-stream) fall back to the passive read path.
+	Pushdown bool
 }
 
 // Serial is the strictly sequential execution: one chunk is read,
@@ -36,9 +43,16 @@ func Parallel() Exec {
 	return Exec{Workers: w, Prefetch: 2 * w}
 }
 
+// normalized resolves the zero value to the full parallel configuration:
+// when Workers is defaulted, an unset Prefetch defaults alongside it to
+// Parallel()'s 2×Workers, so Exec{} ≡ Parallel(). An explicit Workers
+// count leaves Prefetch: 0 meaning no prefetching, as documented.
 func (ex Exec) normalized() Exec {
 	if ex.Workers <= 0 {
 		ex.Workers = runtime.GOMAXPROCS(0)
+		if ex.Prefetch == 0 {
+			ex.Prefetch = 2 * ex.Workers
+		}
 	}
 	if ex.Prefetch < 0 {
 		ex.Prefetch = 0

@@ -1,0 +1,493 @@
+package chunk
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/la"
+)
+
+// execCountingServer wraps a ChunkServer and counts /exec requests, so
+// tests can assert pushdown actually engaged (and not silently fall back
+// everywhere while the differential still passes).
+type execCountingServer struct {
+	inner *ChunkServer
+	execs atomic.Int64
+}
+
+func (s *execCountingServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/exec" {
+		s.execs.Add(1)
+	}
+	s.inner.ServeHTTP(w, r)
+}
+
+// pushdownStore builds a store mixing one local shard with nWorkers
+// exec-capable chunkd workers (RoundRobin, so every shard holds chunks)
+// and returns the per-worker exec counters.
+func pushdownStore(t testing.TB, nWorkers int) (*Store, []*execCountingServer) {
+	t.Helper()
+	local, err := NewDirBackend(filepath.Join(t.TempDir(), "local"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := []Backend{local}
+	counters := make([]*execCountingServer, 0, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		inner, err := NewChunkServer(t.TempDir(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := &execCountingServer{inner: inner}
+		srv := httptest.NewServer(cs)
+		t.Cleanup(srv.Close)
+		rb, err := NewRemoteBackend(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends = append(backends, rb)
+		counters = append(counters, cs)
+	}
+	s, err := NewShardedStoreBackends(backends, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, counters
+}
+
+func totalExecs(counters []*execCountingServer) int64 {
+	var n int64
+	for _, c := range counters {
+		n += c.execs.Load()
+	}
+	return n
+}
+
+// TestPushdownDifferential pins the acceptance criterion: every pushed-down
+// op — CrossProd, ColSums, Sum over dense and CSR chunks, and the k-means
+// distance+argmin pass — is bitwise identical to the all-local parallel
+// run over the same mixed local+remote store, and the /exec endpoint
+// really was used.
+func TestPushdownDifferential(t *testing.T) {
+	s, counters := pushdownStore(t, 2)
+	defer s.Close()
+
+	rng := rand.New(rand.NewSource(42))
+	dd := randDense(rng, 103, 7) // ragged last chunk
+	dM, err := FromDense(s, dd, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sM, err := FromCSR(s, oneHotCSR(rng, 103, 3, 4), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exLocal := Exec{Workers: 4, Prefetch: 3}
+	for _, ex := range []Exec{
+		{Workers: 4, Prefetch: 3, Pushdown: true},
+		{Workers: 1, Prefetch: 0, Pushdown: true}, // serial driver, remote workers
+	} {
+		for _, m := range []Mat{dM, sM} {
+			xpL, err := m.CrossProdExec(exLocal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xpP, err := m.CrossProdExec(ex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if la.MaxAbsDiff(xpL, xpP) != 0 {
+				t.Fatalf("%T crossprod under %+v diverged from all-local", m, ex)
+			}
+			csL, err := m.ColSumsExec(exLocal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			csP, err := m.ColSumsExec(ex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if la.MaxAbsDiff(csL, csP) != 0 {
+				t.Fatalf("%T colsums under %+v diverged from all-local", m, ex)
+			}
+			sumL, err := m.SumExec(exLocal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sumP, err := m.SumExec(ex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sumL != sumP {
+				t.Fatalf("%T sum under %+v = %v, all-local %v", m, ex, sumP, sumL)
+			}
+		}
+
+		kmL, err := KMeansExec(exLocal, dM, 4, 3, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kmP, err := KMeansExec(ex, dM, 4, 3, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if la.MaxAbsDiff(kmL.Centroids, kmP.Centroids) != 0 || kmL.Objective != kmP.Objective {
+			t.Fatalf("k-means under %+v diverged from all-local", ex)
+		}
+		if kmL.BytesRead != kmP.BytesRead {
+			t.Fatalf("k-means BytesRead under %+v = %d, all-local %d", ex, kmP.BytesRead, kmL.BytesRead)
+		}
+		aL, err := kmL.Assign.Dense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		aP, err := kmP.Assign.Dense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if la.MaxAbsDiff(aL, aP) != 0 {
+			t.Fatalf("k-means assignments under %+v diverged from all-local", ex)
+		}
+		if err := kmL.Assign.Free(); err != nil {
+			t.Fatal(err)
+		}
+		if err := kmP.Assign.Free(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if n := totalExecs(counters); n == 0 {
+		t.Fatal("pushdown never reached a worker's /exec endpoint")
+	}
+	for i, c := range counters {
+		if c.execs.Load() == 0 {
+			t.Fatalf("worker %d never received an /exec request", i)
+		}
+	}
+
+	if err := dM.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sM.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if s.LiveChunks() != 0 || s.BytesOnDisk() != 0 {
+		t.Fatalf("after Free: %d chunks, %d bytes still accounted", s.LiveChunks(), s.BytesOnDisk())
+	}
+}
+
+// noExecServer is a pre-/exec chunk server: the disk protocol works, but
+// /exec answers 404 like any unknown path did before the endpoint existed.
+type noExecServer struct {
+	inner *ChunkServer
+	execs atomic.Int64
+}
+
+func (s *noExecServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/exec" {
+		s.execs.Add(1)
+		http.NotFound(w, r)
+		return
+	}
+	s.inner.ServeHTTP(w, r)
+}
+
+// TestPushdownFallsBackOnOldServer: against a shard without /exec, a
+// pushdown pass silently degrades to the passive read path — same results,
+// no error — and the client remembers the answer so later passes skip the
+// probe.
+func TestPushdownFallsBackOnOldServer(t *testing.T) {
+	inner, err := NewChunkServer(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := &noExecServer{inner: inner}
+	srv := httptest.NewServer(old)
+	defer srv.Close()
+	rb, err := NewRemoteBackend(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewShardedStoreBackends([]Backend{rb}, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rng := rand.New(rand.NewSource(3))
+	dM, err := FromDense(s, randDense(rng, 61, 5), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exPush := Exec{Workers: 2, Prefetch: 2, Pushdown: true}
+	want, err := dM.CrossProdExec(Exec{Workers: 2, Prefetch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dM.CrossProdExec(exPush)
+	if err != nil {
+		t.Fatalf("pushdown against a pre-/exec server: %v", err)
+	}
+	if la.MaxAbsDiff(want, got) != 0 {
+		t.Fatal("fallback results diverged from the local pass")
+	}
+	if n := old.execs.Load(); n != 1 {
+		t.Fatalf("probed /exec %d times, want exactly 1", n)
+	}
+	// The unsupported answer is cached: another pass must not re-probe.
+	if _, err := dM.ColSumsExec(exPush); err != nil {
+		t.Fatal(err)
+	}
+	if n := old.execs.Load(); n != 1 {
+		t.Fatalf("re-probed /exec after a definitive 404 (%d probes)", n)
+	}
+	if _, err := rb.ExecOp(OpSum(), chunkKindDense, 5, []ExecChunk{{Key: "chunk-000001.bin", Rows: 8}}); !errors.Is(err, ErrExecUnsupported) {
+		t.Fatalf("ExecOp on a cached no-exec backend = %v, want ErrExecUnsupported", err)
+	}
+}
+
+// cutExecServer serves /exec but cuts the connection after passing through
+// a fixed number of response bytes — a worker dying mid-partial. The disk
+// protocol can be failed independently, to pin what happens when the
+// fallback path is dead too.
+type cutExecServer struct {
+	inner    *ChunkServer
+	mu       sync.Mutex
+	cutAfter int  // bytes of /exec response to pass through before dying
+	failGets bool // when set, GET /chunks/{key} answers 500
+}
+
+func (s *cutExecServer) arm(cutAfter int, failGets bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cutAfter = cutAfter
+	s.failGets = failGets
+}
+
+type cutWriter struct {
+	http.ResponseWriter
+	remaining int
+}
+
+func (w *cutWriter) Write(p []byte) (int, error) {
+	if len(p) > w.remaining {
+		if w.remaining > 0 {
+			w.ResponseWriter.Write(p[:w.remaining])
+		}
+		if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+			fl.Flush()
+		}
+		panic(http.ErrAbortHandler) // kill the stream without a clean end frame
+	}
+	w.remaining -= len(p)
+	return w.ResponseWriter.Write(p)
+}
+
+func (s *cutExecServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	cutAfter, failGets := s.cutAfter, s.failGets
+	s.mu.Unlock()
+	if failGets && r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/chunks/") {
+		http.Error(w, "injected disk outage", http.StatusInternalServerError)
+		return
+	}
+	if r.URL.Path == "/exec" && cutAfter >= 0 {
+		s.inner.ServeHTTP(&cutWriter{ResponseWriter: w, remaining: cutAfter}, r)
+		return
+	}
+	s.inner.ServeHTTP(w, r)
+}
+
+// TestPushdownMidStreamCutFallsBack: a worker that dies mid-partial does
+// not fail the pass or skew the result — the cut is detected (framed
+// stream, no end frame) and the affected chunks rerun through the passive
+// read path, bit-identically.
+func TestPushdownMidStreamCutFallsBack(t *testing.T) {
+	inner, err := NewChunkServer(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := &cutExecServer{inner: inner, cutAfter: -1}
+	srv := httptest.NewServer(cut)
+	defer srv.Close()
+	rb, err := NewRemoteBackend(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := NewDirBackend(filepath.Join(t.TempDir(), "local"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewShardedStoreBackends([]Backend{local, rb}, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rng := rand.New(rand.NewSource(11))
+	dM, err := FromDense(s, randDense(rng, 103, 7), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dM.CrossProdExec(Exec{Workers: 4, Prefetch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselineChunks, baselineBytes := s.LiveChunks(), s.BytesOnDisk()
+
+	exPush := Exec{Workers: 4, Prefetch: 3, Pushdown: true}
+	// Cut at every interesting offset: before any frame, mid-header,
+	// mid-payload, and after a whole first partial (7×7×8 B + blob header
+	// + frame header).
+	for _, cutAfter := range []int{0, 5, 100, 9 + 16 + 7*7*8} {
+		cut.arm(cutAfter, false)
+		got, err := dM.CrossProdExec(exPush)
+		if err != nil {
+			t.Fatalf("cut after %d bytes: pass failed instead of falling back: %v", cutAfter, err)
+		}
+		if la.MaxAbsDiff(want, got) != 0 {
+			t.Fatalf("cut after %d bytes: fallback result diverged", cutAfter)
+		}
+		if s.LiveChunks() != baselineChunks || s.BytesOnDisk() != baselineBytes {
+			t.Fatalf("cut after %d bytes: accounting moved off baseline (%d chunks, %d bytes)",
+				cutAfter, s.LiveChunks(), s.BytesOnDisk())
+		}
+	}
+
+	// Worker dead AND the passive path dead: the pass must error — a
+	// partial is never silently dropped — and accounting stays at
+	// baseline; Free then unwinds to zero.
+	cut.arm(0, true)
+	if _, err := dM.CrossProdExec(exPush); err == nil {
+		t.Fatal("pass succeeded with the worker cut and reads failing")
+	}
+	cut.arm(-1, false)
+	if s.LiveChunks() != baselineChunks || s.BytesOnDisk() != baselineBytes {
+		t.Fatalf("after failed pass: accounting off baseline (%d chunks, %d bytes)", s.LiveChunks(), s.BytesOnDisk())
+	}
+	if err := dM.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if s.LiveChunks() != 0 || s.BytesOnDisk() != 0 {
+		t.Fatalf("after Free: %d chunks, %d bytes still accounted", s.LiveChunks(), s.BytesOnDisk())
+	}
+}
+
+// TestExecOpRoundTrip drives the client-server /exec pair directly: the
+// stream yields one decodable partial per requested chunk, in request
+// order, then a clean EOF.
+func TestExecOpRoundTrip(t *testing.T) {
+	rb, _ := startChunkServer(t)
+	rng := rand.New(rand.NewSource(5))
+	chunks := make([]ExecChunk, 3)
+	want := make([]float64, 3)
+	for i := range chunks {
+		d := randDense(rng, 4, 3)
+		if err := rb.WriteChunk(keyFor(i), encodeDenseChunk(d)); err != nil {
+			t.Fatal(err)
+		}
+		chunks[i] = ExecChunk{Key: keyFor(i), Rows: 4}
+		want[i] = d.SumAll()
+	}
+	ps, err := rb.ExecOp(OpSum(), chunkKindDense, 3, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	st, err := prepareOp(OpSum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range chunks {
+		raw, err := ps.Next()
+		if err != nil {
+			t.Fatalf("partial %d: %v", i, err)
+		}
+		v, err := st.decodePartial(raw)
+		if err != nil {
+			t.Fatalf("partial %d: %v", i, err)
+		}
+		if v.(float64) != want[i] {
+			t.Fatalf("partial %d = %v, want %v", i, v, want[i])
+		}
+	}
+	if _, err := ps.Next(); err != io.EOF {
+		t.Fatalf("after end frame: %v, want io.EOF", err)
+	}
+}
+
+func keyFor(i int) string { return fmt.Sprintf("chunk-%06d.bin", i+1) }
+
+// TestServeExecProtocolErrors pins the /exec status codes the client's
+// probe logic depends on: unknown op → 501 (treated as "no pushdown
+// here"), malformed requests → 400, wrong method → 405.
+func TestServeExecProtocolErrors(t *testing.T) {
+	h, err := NewChunkServer(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(body string) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/exec", strings.NewReader(body)))
+		return rr
+	}
+	if rr := post(`{"op":"no-such-op","kind":"dense","cols":3,"chunks":[{"key":"chunk-000001.bin","rows":4}]}`); rr.Code != http.StatusNotImplemented {
+		t.Fatalf("unknown op = %d, want 501", rr.Code)
+	}
+	for name, body := range map[string]string{
+		"bad JSON":    `{`,
+		"bad key":     `{"op":"sum","kind":"dense","cols":3,"chunks":[{"key":"../etc/passwd","rows":4}]}`,
+		"bad kind":    `{"op":"sum","kind":"coo","cols":3,"chunks":[{"key":"chunk-000001.bin","rows":4}]}`,
+		"bad cols":    `{"op":"sum","kind":"dense","cols":0,"chunks":[{"key":"chunk-000001.bin","rows":4}]}`,
+		"bad rows":    `{"op":"sum","kind":"dense","cols":3,"chunks":[{"key":"chunk-000001.bin","rows":0}]}`,
+		"no chunks":   `{"op":"sum","kind":"dense","cols":3,"chunks":[]}`,
+		"bad params":  `{"op":"sum","params":"AAAA","kind":"dense","cols":3,"chunks":[{"key":"chunk-000001.bin","rows":4}]}`,
+		"kmeans junk": `{"op":"kmeans-assign","params":"AAAA","kind":"dense","cols":3,"chunks":[{"key":"chunk-000001.bin","rows":4}]}`,
+	} {
+		if rr := post(body); rr.Code != http.StatusBadRequest {
+			t.Fatalf("%s = %d, want 400", name, rr.Code)
+		}
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/exec", nil))
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /exec = %d, want 405", rr.Code)
+	}
+	// A missing chunk surfaces in-band: 200, then an error frame.
+	rr = post(`{"op":"sum","kind":"dense","cols":3,"chunks":[{"key":"chunk-000001.bin","rows":4}]}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("exec over a missing chunk = %d, want 200 + error frame", rr.Code)
+	}
+	ps := newPartialStream(io.NopCloser(rr.Body))
+	if _, err := ps.Next(); err == nil || err == io.EOF {
+		t.Fatalf("missing chunk stream = %v, want an in-band error", err)
+	}
+}
+
+// TestPutOverrunReturns413 pins the MaxBytesReader path of put: a body
+// that overruns the server limit answers 413 like the Content-Length
+// check, not a generic 400. (Driving the handler directly, as a real
+// server bounds the body read by the declared Content-Length.)
+func TestPutOverrunReturns413(t *testing.T) {
+	h, err := NewChunkServer(t.TempDir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPut, "/chunks/chunk-000001.bin", strings.NewReader(strings.Repeat("x", 200)))
+	req.ContentLength = 32 // declared under the limit; the body overruns it
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("overrunning PUT = %d, want 413", rr.Code)
+	}
+}

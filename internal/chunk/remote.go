@@ -2,12 +2,14 @@ package chunk
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -45,6 +47,13 @@ const remoteOpTimeout = 2 * time.Minute
 type RemoteBackend struct {
 	base   string // normalized base URL, no trailing slash
 	client *http.Client
+	// execClient issues /exec requests. Separate from client because an
+	// exec response is an open-ended partial stream: it keeps the
+	// per-header timeout but no whole-request deadline.
+	execClient *http.Client
+	// noExec caches a definitive "this server has no /exec" answer
+	// (404/405/501) so later passes skip straight to the passive path.
+	noExec atomic.Bool
 }
 
 // NewRemoteBackend returns a Backend speaking to the chunk server at
@@ -66,8 +75,9 @@ func NewRemoteBackend(baseURL string) (*RemoteBackend, error) {
 	transport.MaxIdleConnsPerHost = 16
 	transport.ResponseHeaderTimeout = remoteHeaderTimeout
 	return &RemoteBackend{
-		base:   strings.TrimRight(u.String(), "/"),
-		client: &http.Client{Transport: transport, Timeout: remoteOpTimeout},
+		base:       strings.TrimRight(u.String(), "/"),
+		client:     &http.Client{Transport: transport, Timeout: remoteOpTimeout},
+		execClient: &http.Client{Transport: transport},
 	}, nil
 }
 
@@ -218,9 +228,9 @@ func (b *RemoteBackend) BytesOf(key string) (int64, error) {
 	return size, nil
 }
 
-// ListKeys fetches the server's stored chunk keys (the reap listing) —
+// List fetches the server's stored chunk keys (the reap listing) —
 // ops/debugging surface, not used by the streaming hot path.
-func (b *RemoteBackend) ListKeys() ([]string, error) {
+func (b *RemoteBackend) List() ([]string, error) {
 	u := b.base + "/chunks"
 	status, body, _, err := b.do(http.MethodGet, u, nil)
 	if err != nil {
@@ -238,4 +248,66 @@ func (b *RemoteBackend) ListKeys() ([]string, error) {
 	return keys, nil
 }
 
-var _ Backend = (*RemoteBackend)(nil)
+// ListKeys is List under its historical name.
+func (b *RemoteBackend) ListKeys() ([]string, error) { return b.List() }
+
+// ExecOp asks the chunk server to run the op over chunks it holds and
+// returns the stream of encoded partials, in request order. A server
+// without /exec (or without this op in its registry) yields
+// ErrExecUnsupported — remembered, so later passes skip the probe.
+// Transport errors and 5xx answers before the stream starts are retried
+// like every other verb; once the stream is open, failures surface through
+// PartialStream.Next and the caller falls back per chunk.
+func (b *RemoteBackend) ExecOp(op Op, kind string, cols int, chunks []ExecChunk) (*PartialStream, error) {
+	if b.noExec.Load() {
+		return nil, fmt.Errorf("%w: %s", ErrExecUnsupported, b.base)
+	}
+	for _, c := range chunks {
+		if !validChunkKey(c.Key) {
+			return nil, fmt.Errorf("chunk: invalid chunk key %q", c.Key)
+		}
+	}
+	body, err := json.Marshal(execRequest{Op: op.Name, Params: op.Params, Kind: kind, Cols: cols, Chunks: chunks})
+	if err != nil {
+		return nil, fmt.Errorf("chunk: encoding exec request: %w", err)
+	}
+	u := b.base + "/exec"
+	for attempt := 0; ; attempt++ {
+		req, reqErr := http.NewRequest(http.MethodPost, u, bytes.NewReader(body))
+		if reqErr != nil {
+			return nil, fmt.Errorf("chunk: remote POST %s: %w", u, reqErr)
+		}
+		req.ContentLength = int64(len(body))
+		req.Header.Set("Content-Type", "application/json")
+		resp, doErr := b.execClient.Do(req)
+		if doErr == nil {
+			switch resp.StatusCode {
+			case http.StatusOK:
+				return newPartialStream(resp.Body), nil
+			case http.StatusNotFound, http.StatusMethodNotAllowed, http.StatusNotImplemented:
+				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+				resp.Body.Close()
+				b.noExec.Store(true)
+				return nil, fmt.Errorf("%w: %s: HTTP %d: %s", ErrExecUnsupported, b.base, resp.StatusCode, strings.TrimSpace(string(msg)))
+			default:
+				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+				resp.Body.Close()
+				if !retryable(resp, nil) {
+					return nil, statusErr(http.MethodPost, u, resp.StatusCode, msg)
+				}
+				if attempt+1 >= remoteAttempts {
+					return nil, fmt.Errorf("chunk: remote POST %s: server error %s: %s (after %d attempts)",
+						u, resp.Status, strings.TrimSpace(string(msg)), attempt+1)
+				}
+			}
+		} else if attempt+1 >= remoteAttempts {
+			return nil, fmt.Errorf("chunk: remote POST %s: %w (after %d attempts)", u, doErr, attempt+1)
+		}
+		time.Sleep(remoteBackoff * time.Duration(attempt+1))
+	}
+}
+
+var (
+	_ Backend     = (*RemoteBackend)(nil)
+	_ ExecBackend = (*RemoteBackend)(nil)
+)

@@ -260,6 +260,27 @@ func (m *SparseMatrix) Stream(ex Exec, mapFn func(ci, lo int, c la.Mat) (any, er
 	}, commit)
 }
 
+// StreamOp implements Mat: it runs a registered op over every CSR chunk
+// and commits the partials in chunk order; with ex.Pushdown, chunks held
+// by exec-capable remote shards are mapped in place by the shard's worker.
+func (m *SparseMatrix) StreamOp(ex Exec, op Op, commit func(ci int, v any) error) error {
+	if m.freed {
+		return ErrFreed
+	}
+	src := opSource{
+		store: m.store,
+		keys:  m.paths,
+		kind:  chunkKindCSR,
+		cols:  m.cols,
+		rowsAt: func(ci int) int {
+			lo, hi := m.chunkBounds(ci)
+			return hi - lo
+		},
+		read: func(ci int) (la.Mat, error) { return m.readAt(ci) },
+	}
+	return src.runOp(ex, op, commit)
+}
+
 // StreamToMatrix implements Mat: it maps every CSR chunk to a dense output
 // chunk and spills the results (through the write-behind stage under a
 // pipelined execution) as a new chunked dense matrix aligned with the
@@ -329,12 +350,11 @@ func (m *SparseMatrix) TMulExec(ex Exec, x *la.Dense) (*la.Dense, error) {
 // CrossProd computes mᵀ·m by accumulating per-chunk cross-products.
 func (m *SparseMatrix) CrossProd() (*la.Dense, error) { return m.CrossProdExec(Parallel()) }
 
-// CrossProdExec computes mᵀ·m under the given execution.
+// CrossProdExec computes mᵀ·m under the given execution, via the
+// registered op (pushdown-capable).
 func (m *SparseMatrix) CrossProdExec(ex Exec) (*la.Dense, error) {
 	acc := la.NewDense(m.cols, m.cols)
-	err := m.pipeline(ex, func(ci, lo int, c *la.CSR) (any, error) {
-		return c.CrossProd(), nil
-	}, func(ci int, v any) error {
+	err := m.StreamOp(ex, OpCrossProd(), func(ci int, v any) error {
 		acc.AddInPlace(v.(*la.Dense))
 		return nil
 	})
@@ -347,12 +367,11 @@ func (m *SparseMatrix) CrossProdExec(ex Exec) (*la.Dense, error) {
 // ColSums aggregates column sums in one pass.
 func (m *SparseMatrix) ColSums() (*la.Dense, error) { return m.ColSumsExec(Parallel()) }
 
-// ColSumsExec aggregates column sums under the given execution.
+// ColSumsExec aggregates column sums under the given execution, via the
+// registered op (pushdown-capable).
 func (m *SparseMatrix) ColSumsExec(ex Exec) (*la.Dense, error) {
 	acc := la.NewDense(1, m.cols)
-	err := m.pipeline(ex, func(ci, lo int, c *la.CSR) (any, error) {
-		return c.ColSums(), nil
-	}, func(ci int, v any) error {
+	err := m.StreamOp(ex, OpColSums(), func(ci int, v any) error {
 		acc.AddInPlace(v.(*la.Dense))
 		return nil
 	})
@@ -365,12 +384,11 @@ func (m *SparseMatrix) ColSumsExec(ex Exec) (*la.Dense, error) {
 // Sum aggregates the grand total in one pass.
 func (m *SparseMatrix) Sum() (float64, error) { return m.SumExec(Parallel()) }
 
-// SumExec aggregates the grand total under the given execution.
+// SumExec aggregates the grand total under the given execution, via the
+// registered op (pushdown-capable).
 func (m *SparseMatrix) SumExec(ex Exec) (float64, error) {
 	total := 0.0
-	err := m.pipeline(ex, func(ci, lo int, c *la.CSR) (any, error) {
-		return c.Sum(), nil
-	}, func(ci int, v any) error {
+	err := m.StreamOp(ex, OpSum(), func(ci int, v any) error {
 		total += v.(float64)
 		return nil
 	})

@@ -22,8 +22,8 @@ func chunkpar(cfg Config) (Result, error) {
 		ID:     "chunkpar",
 		Title:  "Out-of-core engine: serial vs parallel chunked execution (GLM iterations + operators)",
 		Header: []string{"workload", "serial(s)", "parallel(s)", "speedup"},
-		Notes: fmt.Sprintf("workers=%d prefetch=%d GOMAXPROCS=%d; identical results asserted (ordered commit); store emptied on completion",
-			par.Workers, par.Prefetch, runtime.GOMAXPROCS(0)),
+		Notes: fmt.Sprintf("workers=%d prefetch=%d pushdown=%v GOMAXPROCS=%d; identical results asserted (ordered commit); store emptied on completion",
+			par.Workers, par.Prefetch, par.Pushdown, runtime.GOMAXPROCS(0)),
 	}
 	st, cleanup, err := chunkStore(cfg, "chunkpar")
 	if err != nil {

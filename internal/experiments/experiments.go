@@ -80,6 +80,11 @@ type Config struct {
 	// Workers bounds the out-of-core engine's chunk parallelism
 	// (0 = GOMAXPROCS).
 	Workers int
+	// Pushdown ships op-based per-chunk maps to exec-capable remote
+	// shards (RemoteShards pointing at morpheus-chunkd workers) instead
+	// of streaming their chunks back; results are asserted identical
+	// either way.
+	Pushdown bool
 	// MemBudgetMB bounds the out-of-core engine's decoded-chunk memory;
 	// chunk heights are derived from it via chunk.AutoRows instead of
 	// being hard-coded (0 = 256 MB).

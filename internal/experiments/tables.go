@@ -182,6 +182,7 @@ func chunkExec(cfg Config) chunk.Exec {
 	if cfg.Workers > 0 {
 		ex = chunk.Exec{Workers: cfg.Workers, Prefetch: 2 * cfg.Workers}
 	}
+	ex.Pushdown = cfg.Pushdown
 	return ex
 }
 

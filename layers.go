@@ -94,8 +94,17 @@ const (
 // ChunkShardStat is one shard directory's accounted footprint.
 type ChunkShardStat = chunk.ShardStat
 
-// ChunkExec configures a streaming pass (workers + prefetch depth).
+// ChunkExec configures a streaming pass (workers + prefetch depth +
+// pushdown).
 type ChunkExec = chunk.Exec
+
+// ChunkOp names a registered per-chunk map whose partials reduce on the
+// driver; with pushdown it runs on the shard holding each chunk.
+type ChunkOp = chunk.Op
+
+// ChunkExecBackend is the worker capability a pushdown pass probes shard
+// backends for (implemented by RemoteChunkBackend against morpheus-chunkd).
+type ChunkExecBackend = chunk.ExecBackend
 
 // ChunkMat is the chunked-operand interface implemented by both the dense
 // and the CSR chunked matrix.
@@ -141,6 +150,10 @@ var (
 	AutoChunkRowsChecked         = chunk.AutoRowsChecked
 	ChunkSerial                  = chunk.Serial
 	ChunkParallel                = chunk.Parallel
+	ChunkOpCrossProd             = chunk.OpCrossProd
+	ChunkOpColSums               = chunk.OpColSums
+	ChunkOpSum                   = chunk.OpSum
+	ChunkOpKMeansAssign          = chunk.OpKMeansAssign
 	ChunkedLogReg                = chunk.LogRegMaterialized
 	ChunkedLogRegFactorized      = chunk.LogRegFactorized
 	ChunkedKMeans                = chunk.KMeans
