@@ -402,14 +402,14 @@ func BenchmarkTable9OutOfCore(b *testing.B) {
 	}
 	b.Run("M", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := chunk.LogRegMaterialized(tM, y, 2, 1e-6); err != nil {
+			if _, err := chunk.LogRegMaterializedExec(chunk.Parallel(), tM, y, 2, 1e-6); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("F", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := chunk.LogRegFactorized(nt, y, 2, 1e-6); err != nil {
+			if _, err := chunk.LogRegFactorizedExec(chunk.Parallel(), nt, y, 2, 1e-6); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -449,14 +449,14 @@ func BenchmarkTable10OutOfCoreMN(b *testing.B) {
 	}
 	b.Run("M", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := chunk.LogRegMaterialized(tM, y, 2, 1e-7); err != nil {
+			if _, err := chunk.LogRegMaterializedExec(chunk.Parallel(), tM, y, 2, 1e-7); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("F", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := chunk.LogRegFactorizedMN(mn, y, 2, 1e-7); err != nil {
+			if _, err := chunk.LogRegFactorizedMNExec(chunk.Parallel(), mn, y, 2, 1e-7); err != nil {
 				b.Fatal(err)
 			}
 		}

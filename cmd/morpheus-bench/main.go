@@ -14,6 +14,7 @@
 //	morpheus-bench -chunked -remote-shards http://node1:9431,http://node2:9431
 //	morpheus-bench -chunked -remote-shards http://node1:9431 -pushdown
 //	morpheus-bench -exp chunkpar -inproc-chunkd 2 -pushdown -json
+//	morpheus-bench -exp table9 -plan -json > bench-plan.json
 //	morpheus-bench -exp fig3 -json > bench.json
 //
 // Each experiment prints a text table with the materialized (M) and
@@ -40,10 +41,18 @@
 // in-process chunkd workers on loopback and adds them to -remote-shards —
 // the single-binary smoke configuration CI runs.
 //
+// -plan additionally routes every training workload through the
+// plan.Plan(op, operands, env) seam: each run records an explained
+// Decision (strategy, the rule that fired, the structural facts it read,
+// and the planning time in microseconds) and is verified bit-identical to
+// the explicit execution it selected — a divergence fails the run. With
+// -json the decisions appear under each result's "decisions" field, which
+// is how CI's plan-smoke step archives the planner trace.
+//
 // -json replaces the text tables with one JSON array of results on stdout
-// (the schema is experiments.Result: id/title/header/rows/notes), the
-// machine-readable record CI archives per run so the performance
-// trajectory accumulates.
+// (the schema is experiments.Result: id/title/header/rows/notes, plus
+// decisions under -plan), the machine-readable record CI archives per run
+// so the performance trajectory accumulates.
 package main
 
 import (
@@ -79,6 +88,7 @@ func run() error {
 		workers  = flag.Int("workers", 0, "out-of-core chunk workers (0 = GOMAXPROCS)")
 		mem      = flag.Int("mem", 0, "out-of-core decoded-chunk memory budget in MB; chunk heights are autotuned from it (0 = 256)")
 		chunked  = flag.Bool("chunked", false, "run the out-of-core suite (chunkpar, chunkstar, table9, table10)")
+		planOn   = flag.Bool("plan", false, "route training workloads through the planner seam, record explained decisions, and verify each against its explicit twin")
 		asJSON   = flag.Bool("json", false, "emit results as one JSON array on stdout instead of text tables")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 	)
@@ -92,7 +102,7 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "morpheus-bench: -exp is required (try -list or -chunked)")
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, TmpDir: *tmpdir, Workers: *workers, MemBudgetMB: *mem, Pushdown: *pushdown}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, TmpDir: *tmpdir, Workers: *workers, MemBudgetMB: *mem, Pushdown: *pushdown, Plan: *planOn}
 	if *shards != "" {
 		for _, d := range strings.Split(*shards, ",") {
 			if d = strings.TrimSpace(d); d != "" {

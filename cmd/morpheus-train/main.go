@@ -9,8 +9,11 @@
 //
 // Each -attr flag wires one attribute table as
 // "file:primaryKey:foreignKey:features[@categoricalCols]". Models: logreg
-// (±1 target), linreg (numeric target), ridge (with -lambda). The tool
-// prints per-feature weights and the decision-rule verdict.
+// (±1 target), linreg (numeric target), ridge (with -lambda). Training runs
+// through the plan.Plan seam: the planner reads the join's structural facts
+// (tuple/feature ratios, redundancy) and picks the factorized or
+// materialized operand; the tool prints the explained Decision and the
+// per-feature weights.
 package main
 
 import (
@@ -19,8 +22,8 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/ml"
+	"repro/internal/plan"
 	"repro/internal/table"
 )
 
@@ -104,8 +107,14 @@ func main() {
 	st := nm.ComputeStats()
 	fmt.Printf("normalized matrix: %d rows x %d features over %d attribute table(s)\n",
 		nm.Rows(), nm.Cols(), nm.NumTables())
-	fmt.Printf("tuple ratio %.2f, feature ratio %.2f, join redundancy %.2fx -> factorize: %v\n\n",
-		st.TupleRatio, st.FeatureRatio, st.Redundancy, core.DefaultAdvisor().Decide(nm))
+	fmt.Printf("tuple ratio %.2f, feature ratio %.2f, join redundancy %.2fx\n",
+		st.TupleRatio, st.FeatureRatio, st.Redundancy)
+
+	// Every training entry point runs through the planner seam: Plan reads
+	// the structural facts above and picks the operand representation; the
+	// model trains and predicts on whatever it chose.
+	operand, dec := plan.Choose(plan.OpGLM, plan.Env{}, nm)
+	fmt.Printf("plan: %s\n\n", dec)
 
 	opt := ml.Options{Iters: *iters, StepSize: *step}
 	var w interface {
@@ -114,28 +123,28 @@ func main() {
 	}
 	switch *model {
 	case "logreg":
-		wd, err := ml.LogisticRegressionGD(nm, y, nil, opt)
+		wd, err := ml.LogisticRegressionGD(operand, y, nil, opt)
 		if err != nil {
 			fail("training: %v", err)
 		}
-		pred := ml.ClassifyLogistic(nm, wd)
+		pred := ml.ClassifyLogistic(operand, wd)
 		acc, _ := ml.Accuracy(pred, y)
 		fmt.Printf("logistic regression: training accuracy %.1f%%\n", 100*acc)
 		w = wd
 	case "linreg":
-		wd, err := ml.LinearRegressionGD(nm, y, nil, opt)
+		wd, err := ml.LinearRegressionGD(operand, y, nil, opt)
 		if err != nil {
 			fail("training: %v", err)
 		}
-		rmse, _ := ml.RMSE(ml.PredictLinear(nm, wd), y)
+		rmse, _ := ml.RMSE(ml.PredictLinear(operand, wd), y)
 		fmt.Printf("linear regression: training RMSE %.4f\n", rmse)
 		w = wd
 	case "ridge":
-		wd, err := ml.RidgeRegression(nm, y, *lambda)
+		wd, err := ml.RidgeRegression(operand, y, *lambda)
 		if err != nil {
 			fail("training: %v", err)
 		}
-		rmse, _ := ml.RMSE(ml.PredictLinear(nm, wd), y)
+		rmse, _ := ml.RMSE(ml.PredictLinear(operand, wd), y)
 		fmt.Printf("ridge regression (lambda=%g): training RMSE %.4f\n", *lambda, rmse)
 		w = wd
 	default:

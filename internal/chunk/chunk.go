@@ -266,6 +266,51 @@ func (s *Store) shardIndex(path string) int {
 	return -1
 }
 
+// ExecShards reports how many shard backends advertise the worker
+// capability (ExecBackend) — the fact a planner consults before asking for
+// Exec{Pushdown: true}. A capable backend can still refuse at runtime
+// (older chunkd without /exec), in which case the pass degrades to the
+// passive read path chunk by chunk.
+func (s *Store) ExecShards() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for i := range s.shards {
+		if _, ok := s.shards[i].backend.(ExecBackend); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// readOrder computes the placement-aware read order for a pipelined pass
+// over keys: on a multi-shard store the reader interleaves chunks
+// round-robin across shards within admission-bound windows (see
+// interleavedOrder), so all spindles/nodes stream concurrently. Returns
+// nil — plain chunk order — for single-shard stores and for the serial
+// reference execution, whose strict read-compute-commit loop is pinned by
+// the benchmarks.
+func (s *Store) readOrder(keys []string, ex Exec) []int {
+	ex = ex.normalized()
+	if ex.Workers == 1 && ex.Prefetch == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	if len(s.shards) < 2 {
+		s.mu.Unlock()
+		return nil
+	}
+	shardOf := make([]int, len(keys))
+	for i, k := range keys {
+		if info, ok := s.refs[k]; ok {
+			shardOf[i] = info.shard
+		}
+	}
+	numShards := len(s.shards)
+	s.mu.Unlock()
+	return interleavedOrder(shardOf, numShards, ex.Workers+ex.Prefetch+1)
+}
+
 // recordWrite attributes a successfully written chunk file's size to its
 // shard. Written bytes drive the LeastBytes policy and the per-shard stats.
 func (s *Store) recordWrite(path string, n int64) {
@@ -593,12 +638,13 @@ func (m *Matrix) Chunk(ci int) (lo int, c *la.Dense, err error) {
 	return lo, c, err
 }
 
-// pipeline runs the chunk pipeline over this matrix.
+// pipeline runs the chunk pipeline over this matrix; on a multi-shard
+// store the reads are interleaved across shards (Store.readOrder).
 func (m *Matrix) pipeline(ex Exec, mapFn func(ci, lo int, c *la.Dense) (any, error), commit func(ci int, v any) error) error {
 	if m.freed {
 		return ErrFreed
 	}
-	return runPipeline(len(m.paths), ex,
+	return runPipelineOrder(len(m.paths), ex, m.store.readOrder(m.paths, ex),
 		m.readAt,
 		func(ci int, c *la.Dense) (any, error) {
 			lo, _ := m.chunkBounds(ci)

@@ -19,13 +19,6 @@ type GNMFResult struct {
 	BytesRead int64
 }
 
-// GNMF runs Gaussian non-negative matrix factorization (Algorithm 16, the
-// last §4 algorithm without an out-of-core driver) over a chunked table
-// with the parallel engine. See GNMFExec.
-func GNMF(t Mat, rank, iters int, seed int64) (*GNMFResult, error) {
-	return GNMFExec(Parallel(), t, rank, iters, seed)
-}
-
 // gnmfPart is one chunk's contribution to the H-update pass: the partials
 // T_cᵀ·W_c and W_cᵀ·W_c.
 type gnmfPart struct {
@@ -48,7 +41,8 @@ type gnmfPart struct {
 // chunk order, so results are bit-identical for every Exec, and the
 // initialization draws the identical rng sequence as ml.GNMF, so the two
 // agree to floating-point reassociation error. Intermediate W generations
-// are freed as soon as the next one is spilled.
+// are freed as soon as the next one is spilled. The planner-driven entry
+// point is plan.GNMF.
 func GNMFExec(ex Exec, t Mat, rank, iters int, seed int64) (*GNMFResult, error) {
 	n, d := t.Rows(), t.Cols()
 	if rank <= 0 {

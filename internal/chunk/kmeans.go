@@ -22,12 +22,6 @@ type KMeansResult struct {
 	BytesRead int64
 }
 
-// KMeans clusters the rows of a chunked table (Algorithm 15 run
-// out-of-core) with the parallel engine. See KMeansExec.
-func KMeans(t Mat, k, iters int, seed int64) (*KMeansResult, error) {
-	return KMeansExec(Parallel(), t, k, iters, seed)
-}
-
 // kmPart is one chunk's contribution to a k-means iteration: the partial
 // centroid numerators Tᵀ·A and cluster counts.
 type kmPart struct {
@@ -70,7 +64,8 @@ func kmeansAssignPartial(ch la.Mat, c *la.Dense, cNorm []float64) kmPart {
 // bit-identical for every Exec. Empty clusters keep their previous
 // centroid. A final pass gathers the argmin per row into a chunked
 // assignment column through the write-behind spiller and accumulates the
-// objective, again in chunk order.
+// objective, again in chunk order. The planner-driven entry point is
+// plan.KMeans.
 func KMeansExec(ex Exec, t Mat, k, iters int, seed int64) (*KMeansResult, error) {
 	n, d := t.Rows(), t.Cols()
 	if k <= 0 {

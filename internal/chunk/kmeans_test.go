@@ -27,7 +27,7 @@ func TestChunkedKMeansMatchesInMemory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := KMeans(m, k, iters, seed)
+	got, err := KMeansExec(Parallel(), m, k, iters, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestChunkedKMeansSparse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := KMeans(m, k, iters, seed)
+	got, err := KMeansExec(Parallel(), m, k, iters, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,13 +124,13 @@ func TestChunkedKMeansValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := KMeans(m, 0, 3, 1); err == nil {
+	if _, err := KMeansExec(Parallel(), m, 0, 3, 1); err == nil {
 		t.Fatal("accepted k=0")
 	}
-	if _, err := KMeans(m, 11, 3, 1); err == nil {
+	if _, err := KMeansExec(Parallel(), m, 11, 3, 1); err == nil {
 		t.Fatal("accepted k>n")
 	}
-	if _, err := KMeans(m, 2, 0, 1); err == nil {
+	if _, err := KMeansExec(Parallel(), m, 2, 0, 1); err == nil {
 		t.Fatal("accepted iters=0")
 	}
 }

@@ -14,25 +14,19 @@ type LogRegResult struct {
 	BytesRead int64
 }
 
-// LogRegMaterialized runs the standard logistic regression (Algorithm 3)
-// over any chunked materialized table — dense or CSR — with the parallel
-// engine, streaming every stored cell from disk each iteration: the ORE
-// baseline of Table 9, and the sparse one-hot shapes of Table 6 when t is
-// a *SparseMatrix.
-func LogRegMaterialized(t Mat, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
-	return LogRegMaterializedExec(Parallel(), t, y, iters, alpha)
-}
-
 // matPart is one chunk's contribution to a materialized-GLM iteration.
 type matPart struct {
 	grad  *la.Dense
 	bytes int64
 }
 
-// LogRegMaterializedExec runs the materialized chunked logistic regression
-// under the given execution. Per-chunk gradients are computed on the
-// workers and accumulated in chunk order, so results are identical for
-// every Exec.
+// LogRegMaterializedExec runs the standard logistic regression
+// (Algorithm 3) over any chunked materialized table — dense or CSR —
+// under the given execution, streaming every stored cell from disk each
+// iteration: the ORE baseline of Table 9, and the sparse one-hot shapes
+// of Table 6 when t is a *SparseMatrix. Per-chunk gradients are computed
+// on the workers and accumulated in chunk order, so results are identical
+// for every Exec. The planner-driven entry point is plan.LogReg.
 func LogRegMaterializedExec(ex Exec, t Mat, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
 	if y.Rows() != t.Rows() || y.Cols() != 1 {
 		return nil, fmt.Errorf("chunk: labels are %dx%d, want %dx1", y.Rows(), y.Cols(), t.Rows())
@@ -66,15 +60,6 @@ func LogRegMaterializedExec(ex Exec, t Mat, y *la.Dense, iters int, alpha float6
 	return &LogRegResult{W: w, BytesRead: bytesRead}, nil
 }
 
-// LogRegFactorized runs the factorized logistic regression (Algorithm 4)
-// over the out-of-core star with the parallel engine: per iteration it
-// reads only the base table S (plus the key columns) from disk and
-// computes the R-side partial products in memory — the Morpheus-on-ORE
-// configuration, generalized to any number of attribute tables.
-func LogRegFactorized(nt *NormalizedTable, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
-	return LogRegFactorizedExec(Parallel(), nt, y, iters, alpha)
-}
-
 // starPart is one chunk's contribution to a factorized-GLM iteration: the
 // S-side partial gradient plus the per-row coefficients and per-table keys
 // needed for the (serial, ordered) R-side scatters.
@@ -85,10 +70,14 @@ type starPart struct {
 	bytes int64
 }
 
-// LogRegFactorizedExec runs the factorized chunked logistic regression
-// under the given execution. Workers compute the S-side products; the
-// R-side scatter-adds run in chunk order on the committer, keeping results
-// identical for every Exec.
+// LogRegFactorizedExec runs the factorized logistic regression
+// (Algorithm 4) over the out-of-core star under the given execution: per
+// iteration it reads only the base table S (plus the key columns) from
+// disk and computes the R-side partial products in memory — the
+// Morpheus-on-ORE configuration, generalized to any number of attribute
+// tables. Workers compute the S-side products; the R-side scatter-adds
+// run in chunk order on the committer, keeping results identical for
+// every Exec. The planner-driven entry point is plan.LogReg.
 func LogRegFactorizedExec(ex Exec, nt *NormalizedTable, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
 	nS, dS := nt.S.Rows(), nt.S.Cols()
 	offs := nt.ColOffsets()

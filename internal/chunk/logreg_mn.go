@@ -90,20 +90,15 @@ type mnSelPart struct {
 	bytes  int64
 }
 
-// LogRegFactorizedMN runs factorized logistic regression over the
-// out-of-core M:N join with the parallel engine. Per iteration it makes
+// LogRegFactorizedMNExec runs factorized logistic regression over the
+// out-of-core M:N join under the given execution. Per iteration it makes
 // one pass over S and R to compute the partial inner products (nS- and
 // nR-length vectors held in memory), one pass over the selector columns to
 // form the per-output-tuple coefficients, and one more pass over S and R
 // for the gradients — total I/O proportional to the base tables plus two
-// key columns, never to |T'|·(dS+dR).
-func LogRegFactorizedMN(t *MNTable, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
-	return LogRegFactorizedMNExec(Parallel(), t, y, iters, alpha)
-}
-
-// LogRegFactorizedMNExec runs the M:N factorized chunked logistic
-// regression under the given execution; scatter-adds commit in chunk
-// order, so results are identical for every Exec.
+// key columns, never to |T'|·(dS+dR). Scatter-adds commit in chunk order,
+// so results are identical for every Exec. The planner-driven entry point
+// is plan.LogRegMN.
 func LogRegFactorizedMNExec(ex Exec, t *MNTable, y *la.Dense, iters int, alpha float64) (*LogRegResult, error) {
 	n := t.OutputRows()
 	if y.Rows() != n || y.Cols() != 1 {

@@ -231,6 +231,66 @@ type loaded[T any] struct {
 	err error
 }
 
+// interleavedOrder computes the order a pipelined reader visits chunks
+// whose files are spread across multiple shards: within consecutive
+// windows of `window` chunks, reads cycle round-robin across the shards
+// present in the window, so every disk (or remote chunk server) streams
+// concurrently instead of serving the pass one shard at a time.
+//
+// The window never exceeds the pipeline's admission bound
+// (Workers+Prefetch+1): the reader cannot enter window w+1 before every
+// chunk of window w has been read, so whenever the ordered committer is
+// waiting on chunk `next`, at most window-1 < inflight later chunks hold
+// tickets and the ticket for `next`'s read is always admittable — a
+// global (unwindowed) shuffle could instead fill every ticket with
+// later-ordered chunks and deadlock against the ascending-ci commit.
+// Commits still run in ascending chunk order, so results are bit-identical
+// to the chunk-order read.
+//
+// shardOf[ci] is the owning shard of chunk ci (out-of-range values are
+// grouped together). Returns nil — meaning plain chunk order — when fewer
+// than two shards are present or the interleave is a no-op.
+func interleavedOrder(shardOf []int, numShards, window int) []int {
+	if numShards < 2 || window < 2 {
+		return nil
+	}
+	n := len(shardOf)
+	order := make([]int, 0, n)
+	queues := make([][]int, numShards)
+	for lo := 0; lo < n; lo += window {
+		hi := lo + window
+		if hi > n {
+			hi = n
+		}
+		for i := range queues {
+			queues[i] = queues[i][:0]
+		}
+		for ci := lo; ci < hi; ci++ {
+			si := shardOf[ci]
+			if si < 0 || si >= numShards {
+				si = 0
+			}
+			queues[si] = append(queues[si], ci)
+		}
+		for emitted := true; emitted; {
+			emitted = false
+			for si := range queues {
+				if len(queues[si]) > 0 {
+					order = append(order, queues[si][0])
+					queues[si] = queues[si][1:]
+					emitted = true
+				}
+			}
+		}
+	}
+	for i, ci := range order {
+		if ci != i {
+			return order
+		}
+	}
+	return nil // the interleave is the identity; keep the fast path
+}
+
 // runPipeline streams chunks [0,n) through mapFn and commits the results
 // strictly in chunk order:
 //
@@ -243,6 +303,20 @@ type loaded[T any] struct {
 // finishes first — reductions committed this way are bit-identical to the
 // serial pass. The first error cancels the pipeline and is returned.
 func runPipeline[T any](n int, ex Exec,
+	read func(ci int) (T, error),
+	mapFn func(ci int, c T) (any, error),
+	commit func(ci int, v any) error) error {
+	return runPipelineOrder(n, ex, nil, read, mapFn, commit)
+}
+
+// runPipelineOrder is runPipeline with an explicit read order: the single
+// reader goroutine visits chunks in order[0..n) instead of ascending ci
+// (nil or mis-sized order means chunk order). Pass the result of
+// interleavedOrder to spread a multi-shard pass's reads round-robin across
+// the shards; because commit order is unchanged, the read order never
+// affects results — only which disk is busy when. The serial reference
+// path (Workers 1, Prefetch 0) always reads in chunk order.
+func runPipelineOrder[T any](n int, ex Exec, order []int,
 	read func(ci int) (T, error),
 	mapFn func(ci int, c T) (any, error),
 	commit func(ci int, v any) error) error {
@@ -287,10 +361,17 @@ func runPipeline[T any](n int, ex Exec,
 	inflight := ex.Workers + ex.Prefetch + 1
 	tickets := make(chan struct{}, inflight)
 
+	if len(order) != n {
+		order = nil
+	}
 	feed := make(chan loaded[T], ex.Prefetch)
 	go func() {
 		defer close(feed)
-		for ci := 0; ci < n; ci++ {
+		for i := 0; i < n; i++ {
+			ci := i
+			if order != nil {
+				ci = order[i]
+			}
 			select {
 			case tickets <- struct{}{}:
 			case <-done:

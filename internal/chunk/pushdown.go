@@ -53,7 +53,7 @@ func (src opSource) runOp(ex Exec, op Op, commit func(ci int, v any) error) erro
 	n := len(src.keys)
 	apply := func(ci int, c la.Mat) (any, error) { return st.apply(c) }
 	if !ex.Pushdown {
-		return runPipeline(n, ex, src.read, apply, commit)
+		return runPipelineOrder(n, ex, src.store.readOrder(src.keys, ex), src.read, apply, commit)
 	}
 
 	// Partition the chunks by executing shard; chunks on passive shards
@@ -71,7 +71,7 @@ func (src opSource) runOp(ex Exec, op Op, commit func(ci int, v any) error) erro
 		execs[si] = eb
 	}
 	if len(groups) == 0 {
-		return runPipeline(n, ex, src.read, apply, commit)
+		return runPipelineOrder(n, ex, src.store.readOrder(src.keys, ex), src.read, apply, commit)
 	}
 
 	done := make(chan struct{})

@@ -214,7 +214,7 @@ func (m *SparseMatrix) pipeline(ex Exec, mapFn func(ci, lo int, c *la.CSR) (any,
 	if m.freed {
 		return ErrFreed
 	}
-	return runPipeline(len(m.paths), ex,
+	return runPipelineOrder(len(m.paths), ex, m.store.readOrder(m.paths, ex),
 		m.readAt,
 		func(ci int, c *la.CSR) (any, error) {
 			lo, _ := m.chunkBounds(ci)

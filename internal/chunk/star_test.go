@@ -85,11 +85,11 @@ func TestStarChunkedGLMMatchesInMemory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resM, err := LogRegMaterialized(tm, y, iters, alpha)
+	resM, err := LogRegMaterializedExec(Parallel(), tm, y, iters, alpha)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resF, err := LogRegFactorized(nt, y, iters, alpha)
+	resF, err := LogRegFactorizedExec(Parallel(), nt, y, iters, alpha)
 	if err != nil {
 		t.Fatal(err)
 	}

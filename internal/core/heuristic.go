@@ -19,23 +19,51 @@ type Stats struct {
 	Redundancy float64
 }
 
-// ComputeStats derives Stats from the normalized matrix dimensions. All
-// cell-count products are taken in float64: at ORE scale (nS in the
+// TableDim is one base table's shape, the only fact StatsFromDims reads.
+type TableDim struct {
+	Rows, Cols int
+}
+
+// StatsFromDims derives Stats purely from dimensions: the output shape
+// (nRows×dCols), the entity table s, and the attribute tables rs. It is
+// the statistics-free planner's fact source — no data is touched, only
+// shapes — and the pure form of ComputeStats, shared so chunked operands
+// (which never hold a NormalizedMatrix) get identical numbers.
+//
+// All cell-count products are taken in float64: at ORE scale (nS in the
 // billions, dCols in the tens) nS·dCols and the base-table cell totals
 // overflow fixed-width integer arithmetic, which would silently corrupt
 // Redundancy and flip the Advisor.
-func (m *NormalizedMatrix) ComputeStats() Stats {
-	st := Stats{NS: m.nRows, DS: m.dS()}
-	baseCells := 0.0
-	if m.s != nil {
-		baseCells += float64(m.s.Rows()) * float64(m.s.Cols())
-	}
-	for _, r := range m.rs {
-		if r.Rows() > st.NR {
-			st.NR = r.Rows()
+//
+// Degenerate inputs stay finite and conservative — no ratio is ever NaN
+// or ±Inf:
+//   - nR == 0 (no attribute rows): TupleRatio stays 0, so ShouldFactorize
+//     is false — the materialized fallback.
+//   - dS == 0 (no entity features): the dR/dS feature ratio would be +Inf;
+//     it is reported as the numerator dR instead, keeping the value finite
+//     while still clearing any sane Rho threshold (with no entity features
+//     every output column comes from the attribute tables, where the
+//     factorized form avoids all redundancy).
+//   - zero base cells: Redundancy stays 0.
+//   - negative dimensions (impossible for real tables, reachable through
+//     fuzzing or corrupt metadata) are clamped to 0.
+func StatsFromDims(nRows, dCols int, s TableDim, rs []TableDim) Stats {
+	clamp := func(v int) int {
+		if v < 0 {
+			return 0
 		}
-		st.DR += r.Cols()
-		baseCells += float64(r.Rows()) * float64(r.Cols())
+		return v
+	}
+	nRows, dCols = clamp(nRows), clamp(dCols)
+	st := Stats{NS: nRows, DS: clamp(s.Cols)}
+	baseCells := float64(clamp(s.Rows)) * float64(clamp(s.Cols))
+	for _, r := range rs {
+		rr, rc := clamp(r.Rows), clamp(r.Cols)
+		if rr > st.NR {
+			st.NR = rr
+		}
+		st.DR += rc
+		baseCells += float64(rr) * float64(rc)
 	}
 	if st.NR > 0 {
 		st.TupleRatio = float64(st.NS) / float64(st.NR)
@@ -46,9 +74,23 @@ func (m *NormalizedMatrix) ComputeStats() Stats {
 		st.FeatureRatio = float64(st.DR)
 	}
 	if baseCells > 0 {
-		st.Redundancy = float64(st.NS) * float64(m.dCols) / baseCells
+		st.Redundancy = float64(st.NS) * float64(dCols) / baseCells
 	}
 	return st
+}
+
+// ComputeStats derives Stats from the normalized matrix dimensions (see
+// StatsFromDims for the arithmetic and its edge cases).
+func (m *NormalizedMatrix) ComputeStats() Stats {
+	var s TableDim
+	if m.s != nil {
+		s = TableDim{Rows: m.s.Rows(), Cols: m.s.Cols()}
+	}
+	rs := make([]TableDim, len(m.rs))
+	for i, r := range m.rs {
+		rs[i] = TableDim{Rows: r.Rows(), Cols: r.Cols()}
+	}
+	return StatsFromDims(m.nRows, m.dCols, s, rs)
 }
 
 // Advisor is the heuristic decision rule of §3.7: a disjunctive predicate

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStatsDegenerateDS pins the dS == 0 edge: with no entity features the
+// dR/dS feature ratio would be +Inf; StatsFromDims reports the numerator
+// dR instead, so the value stays finite and the Advisor's comparison is
+// well defined (NaN/Inf never reach the threshold test).
+func TestStatsDegenerateDS(t *testing.T) {
+	st := StatsFromDims(1000, 30, TableDim{Rows: 1000, Cols: 0}, []TableDim{{Rows: 50, Cols: 30}})
+	if st.DS != 0 {
+		t.Fatalf("DS = %d, want 0", st.DS)
+	}
+	if st.FeatureRatio != 30 {
+		t.Fatalf("FeatureRatio = %g, want the numerator dR = 30", st.FeatureRatio)
+	}
+	if math.IsInf(st.FeatureRatio, 0) || math.IsNaN(st.FeatureRatio) {
+		t.Fatalf("FeatureRatio leaked a non-finite value: %g", st.FeatureRatio)
+	}
+	// TR = 1000/50 = 20 ≥ τ and FR = 30 ≥ ρ: all output columns come from
+	// the attribute table, so factorization avoids every redundant cell.
+	if !DefaultAdvisor().ShouldFactorize(st) {
+		t.Fatal("dS == 0 with high tuple ratio should still factorize")
+	}
+}
+
+// TestStatsDegenerateNR pins the nR == 0 edge: with no attribute rows the
+// nS/nR tuple ratio would be +Inf; it stays 0 instead, which keeps the
+// Advisor on the conservative materialized side.
+func TestStatsDegenerateNR(t *testing.T) {
+	st := StatsFromDims(1000, 80, TableDim{Rows: 1000, Cols: 20}, []TableDim{{Rows: 0, Cols: 60}})
+	if st.TupleRatio != 0 {
+		t.Fatalf("TupleRatio = %g, want 0 (conservative fallback)", st.TupleRatio)
+	}
+	if DefaultAdvisor().ShouldFactorize(st) {
+		t.Fatal("nR == 0 must fall back to materialized execution")
+	}
+	// No attribute tables at all behaves the same way.
+	st = StatsFromDims(1000, 20, TableDim{Rows: 1000, Cols: 20}, nil)
+	if st.TupleRatio != 0 || DefaultAdvisor().ShouldFactorize(st) {
+		t.Fatalf("q == 0 must fall back to materialized execution (TR = %g)", st.TupleRatio)
+	}
+}
+
+// TestAdvisorNaNConservative pins that a NaN ratio — should one ever be
+// injected from outside StatsFromDims — fails the threshold comparison,
+// i.e. the Advisor materializes rather than factorizing on garbage.
+func TestAdvisorNaNConservative(t *testing.T) {
+	nan := math.NaN()
+	for _, st := range []Stats{
+		{TupleRatio: nan, FeatureRatio: 4},
+		{TupleRatio: 20, FeatureRatio: nan},
+		{TupleRatio: nan, FeatureRatio: nan},
+	} {
+		if DefaultAdvisor().ShouldFactorize(st) {
+			t.Fatalf("Advisor factorized on NaN stats %+v", st)
+		}
+	}
+}
+
+// FuzzStatsFromDims fuzzes the dimension-only stats derivation: whatever
+// the (possibly negative or enormous) input shapes, no ratio may come out
+// NaN or ±Inf and none may go negative — the invariants the planner's
+// rules rely on to stay total.
+func FuzzStatsFromDims(f *testing.F) {
+	f.Add(20000, 120, 20000, 60, 1000, 60, 500, 30)
+	f.Add(0, 0, 0, 0, 0, 0, 0, 0)
+	f.Add(1<<57, 128, 1<<57, 8, 1<<50, 120, 0, 0)
+	f.Add(-5, -7, -1, -2, -3, -4, 5, 6)
+	f.Add(1, 0, 1, 0, 7, 0, 0, 9)
+	f.Fuzz(func(t *testing.T, nRows, dCols, sr, sc, r1r, r1c, r2r, r2c int) {
+		st := StatsFromDims(nRows, dCols, TableDim{Rows: sr, Cols: sc},
+			[]TableDim{{Rows: r1r, Cols: r1c}, {Rows: r2r, Cols: r2c}})
+		for name, v := range map[string]float64{
+			"TupleRatio":   st.TupleRatio,
+			"FeatureRatio": st.FeatureRatio,
+			"Redundancy":   st.Redundancy,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s is non-finite (%g) for inputs nRows=%d dCols=%d s=%dx%d r1=%dx%d r2=%dx%d",
+					name, v, nRows, dCols, sr, sc, r1r, r1c, r2r, r2c)
+			}
+			if v < 0 {
+				t.Fatalf("%s went negative (%g)", name, v)
+			}
+		}
+		// A non-finite or negative ratio must never flip the Advisor; on any
+		// fuzzed input the predicate must simply return a bool without
+		// tripping the checks above.
+		_ = DefaultAdvisor().ShouldFactorize(st)
+	})
+}

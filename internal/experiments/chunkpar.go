@@ -84,11 +84,13 @@ func chunkpar(cfg Config) (Result, error) {
 		return nil
 	}
 
+	var wM, wF *la.Dense
 	if err := row(fmt.Sprintf("glm-materialized (%d iters)", iters), func(ex chunk.Exec) (*la.Dense, error) {
 		r, err := chunk.LogRegMaterializedExec(ex, tM, y, iters, 1e-6)
 		if err != nil {
 			return nil, err
 		}
+		wM = r.W
 		return r.W, nil
 	}); err != nil {
 		return Result{}, err
@@ -98,9 +100,15 @@ func chunkpar(cfg Config) (Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		wF = r.W
 		return r.W, nil
 	}); err != nil {
 		return Result{}, err
+	}
+	if cfg.Plan {
+		if err := plannedGLM(&res, "chunkpar/glm", planEnv(cfg, st), tM, nt, y, iters, 1e-6, wM, wF); err != nil {
+			return Result{}, err
+		}
 	}
 	if err := row("crossprod(T)", tM.CrossProdExec); err != nil {
 		return Result{}, err

@@ -137,16 +137,17 @@ func chunkshard(cfg Config) (Result, error) {
 	}); err != nil {
 		return Result{}, err
 	}
+	// GNMF wants a non-negative table; absChunk streams |T| per chunk.
+	absChunk := func(ci, lo int, c la.Mat) (*la.Dense, error) {
+		return c.ApplyM(func(v float64) float64 {
+			if v < 0 {
+				return -v
+			}
+			return v
+		}).(*la.Dense), nil
+	}
 	if err := row(fmt.Sprintf("gnmf rank=5 (%d iters)", iters), func(t chunk.Mat) (*la.Dense, error) {
-		// GNMF wants a non-negative table; stream |T| into the same store.
-		pos, err := t.StreamToMatrix(ex, t.Cols(), func(ci, lo int, c la.Mat) (*la.Dense, error) {
-			return c.ApplyM(func(v float64) float64 {
-				if v < 0 {
-					return -v
-				}
-				return v
-			}).(*la.Dense), nil
-		})
+		pos, err := t.StreamToMatrix(ex, t.Cols(), absChunk)
 		if err != nil {
 			return nil, err
 		}
@@ -159,6 +160,23 @@ func chunkshard(cfg Config) (Result, error) {
 		return r.H, nil
 	}); err != nil {
 		return Result{}, err
+	}
+	if cfg.Plan {
+		pos, err := tSharded.StreamToMatrix(ex, tSharded.Cols(), absChunk)
+		if err != nil {
+			return Result{}, err
+		}
+		twin, err := chunk.GNMFExec(ex, pos, 5, iters, cfg.Seed)
+		if err != nil {
+			pos.Free()
+			return Result{}, err
+		}
+		err = plannedGNMF(&res, "chunkshard/gnmf", planEnv(cfg, sharded), pos, 5, iters, cfg.Seed, twin.H)
+		twin.W.Free()
+		pos.Free()
+		if err != nil {
+			return Result{}, err
+		}
 	}
 
 	stats := sharded.ShardStats()

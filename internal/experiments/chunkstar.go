@@ -55,11 +55,16 @@ func chunkstar(cfg Config) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		mT, fT, _, _, err := runGLMPair(ex, tM, nt, y, iters, alpha)
+		mT, fT, resM, resF, err := runGLMPair(ex, tM, nt, y, iters, alpha)
 		if err != nil {
 			return Result{}, fmt.Errorf("chunkstar: star: %w", err)
 		}
 		res.Rows = append(res.Rows, []string{fmt.Sprintf("glm star q=2 (%d iters)", iters), secs(mT), secs(fT), ratio(mT, fT)})
+		if cfg.Plan {
+			if err := plannedGLM(&res, "chunkstar/star", planEnv(cfg, st), tM, nt, y, iters, alpha, resM.W, resF.W); err != nil {
+				return Result{}, err
+			}
+		}
 
 		var cpMat, cpStr *la.Dense
 		cpM := timeIt(func() {
@@ -106,6 +111,11 @@ func chunkstar(cfg Config) (Result, error) {
 			return Result{}, fmt.Errorf("chunkstar: kmeans serial and parallel centroids diverged")
 		}
 		res.Rows = append(res.Rows, []string{fmt.Sprintf("kmeans k=8 (%d iters)", iters), secs(kT), secs(kP), ratio(kT, kP)})
+		if cfg.Plan {
+			if err := plannedKMeans(&res, "chunkstar/kmeans", planEnv(cfg, st), tM, 8, iters, cfg.Seed, kmPar); err != nil {
+				return Result{}, err
+			}
+		}
 
 		if err := kmSer.Assign.Free(); err != nil {
 			return Result{}, err
@@ -139,11 +149,16 @@ func chunkstar(cfg Config) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		mT, fT, _, _, err := runGLMPair(ex, tM, nt, y, iters, alpha)
+		mT, fT, resM, resF, err := runGLMPair(ex, tM, nt, y, iters, alpha)
 		if err != nil {
 			return Result{}, fmt.Errorf("chunkstar: sparse: %w", err)
 		}
 		res.Rows = append(res.Rows, []string{fmt.Sprintf("glm one-hot CSR (%d iters)", iters), secs(mT), secs(fT), ratio(mT, fT)})
+		if cfg.Plan {
+			if err := plannedGLM(&res, "chunkstar/sparse", planEnv(cfg, st), tM, nt, y, iters, alpha, resM.W, resF.W); err != nil {
+				return Result{}, err
+			}
+		}
 		if err := tM.Free(); err != nil {
 			return Result{}, err
 		}

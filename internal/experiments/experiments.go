@@ -14,6 +14,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/plan"
 )
 
 // Result is one regenerated table or figure. The JSON field names are the
@@ -25,6 +27,10 @@ type Result struct {
 	Header []string   `json:"header"`
 	Rows   [][]string `json:"rows"`
 	Notes  string     `json:"notes,omitempty"`
+	// Decisions is the planner trace recorded when Config.Plan is set: one
+	// explained plan.Decision per planner-driven workload, each verified
+	// bit-identical to the explicit run it selected before being recorded.
+	Decisions []plan.Decision `json:"decisions,omitempty"`
 }
 
 // Format renders the result as an aligned text table.
@@ -58,6 +64,9 @@ func (r Result) Format() string {
 	if r.Notes != "" {
 		fmt.Fprintf(&sb, "note: %s\n", r.Notes)
 	}
+	for _, d := range r.Decisions {
+		fmt.Fprintf(&sb, "plan[%s] %s\n", d.Label, d.String())
+	}
 	return sb.String()
 }
 
@@ -89,6 +98,11 @@ type Config struct {
 	// chunk heights are derived from it via chunk.AutoRows instead of
 	// being hard-coded (0 = 256 MB).
 	MemBudgetMB int
+	// Plan additionally runs each training workload through the
+	// plan.Plan(op, operands, env) seam, verifies the planner-chosen path
+	// is bit-identical to the explicit run it selected (a divergence is an
+	// error), and records the explained Decisions on the Result.
+	Plan bool
 }
 
 // DefaultConfig returns Scale=1, Seed=1.

@@ -258,6 +258,11 @@ func table9(cfg Config) (Result, error) {
 			secs(time.Duration(int64(mT) / iters)), secs(time.Duration(int64(fT) / iters)),
 			ratio(mT, fT),
 			fmt.Sprint(resM.BytesRead), fmt.Sprint(resF.BytesRead)})
+		if cfg.Plan {
+			if err := plannedGLM(&res, "table9/FR="+label, planEnv(cfg, st), tM, nt, y, iters, 1e-6, resM.W, resF.W); err != nil {
+				return err
+			}
+		}
 		// Release this sweep point's spill files before the next one.
 		if err := tM.Free(); err != nil {
 			return err
@@ -449,6 +454,11 @@ func table10(cfg Config) (Result, error) {
 			fmt.Sprint(nU), fmt.Sprint(nm.Rows()),
 			secs(time.Duration(int64(mT) / iters)), secs(time.Duration(int64(fT) / iters)),
 			ratio(mT, fT)})
+		if cfg.Plan {
+			if err := plannedGLMMN(&res, fmt.Sprintf("table10/nU=%d", nU), planEnv(cfg, st), tM, mn, y, iters, 1e-7, resM.W, resF.W); err != nil {
+				return Result{}, err
+			}
+		}
 		// Release this sweep point's spill files before the next one.
 		tM.Free()
 		mn.Free()

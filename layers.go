@@ -4,6 +4,7 @@ import (
 	"repro/internal/chunk"
 	"repro/internal/core"
 	"repro/internal/expr"
+	"repro/internal/plan"
 	"repro/internal/serve"
 	"repro/internal/table"
 )
@@ -154,13 +155,61 @@ var (
 	ChunkOpColSums               = chunk.OpColSums
 	ChunkOpSum                   = chunk.OpSum
 	ChunkOpKMeansAssign          = chunk.OpKMeansAssign
-	ChunkedLogReg                = chunk.LogRegMaterialized
-	ChunkedLogRegFactorized      = chunk.LogRegFactorized
-	ChunkedKMeans                = chunk.KMeans
-	ChunkedGNMF                  = chunk.GNMF
+	ChunkedLogRegExec            = chunk.LogRegMaterializedExec
+	ChunkedLogRegFactorizedExec  = chunk.LogRegFactorizedExec
+	ChunkedLogRegMNExec          = chunk.LogRegFactorizedMNExec
+	ChunkedKMeansExec            = chunk.KMeansExec
+	ChunkedGNMFExec              = chunk.GNMFExec
 	StreamedCrossProd            = core.StreamedCrossProd
 	StreamedMul                  = core.StreamedMul
 	StreamedTMul                 = core.StreamedTMul
+)
+
+// Planning layer (internal/plan): the statistics-free Plan(op, operands,
+// env) seam every driver runs through — factorized vs materialized,
+// in-memory vs chunked, serial vs parallel, pushdown, read interleave —
+// from structural facts alone, with explainable Decisions.
+
+// PlanOp names a planned operation (PlanOpGLM, PlanOpKMeans, ...).
+type PlanOp = plan.Op
+
+// Planned operations.
+const (
+	PlanOpGLM       = plan.OpGLM
+	PlanOpKMeans    = plan.OpKMeans
+	PlanOpGNMF      = plan.OpGNMF
+	PlanOpCrossProd = plan.OpCrossProd
+	PlanOpColSums   = plan.OpColSums
+	PlanOpSum       = plan.OpSum
+)
+
+// PlanOperands is the planner's structural view of the data.
+type PlanOperands = plan.Operands
+
+// PlanEnv is the planner's view of the machine and chunk store.
+type PlanEnv = plan.Env
+
+// PlanStrategy is one chosen value per execution axis.
+type PlanStrategy = plan.Strategy
+
+// PlanDecision is an explainable plan: strategy + facts + fired rules.
+type PlanDecision = plan.Decision
+
+// Planning-layer entry points: the planner itself, fact gatherers, and
+// the planner-driven training drivers (the explicit ChunkedExec forms
+// above remain as overrides).
+var (
+	PlanFor              = plan.Plan
+	PlanEnvFor           = plan.EnvFor
+	PlanChoose           = plan.Choose
+	MaterializedOperands = plan.MaterializedOperands
+	StarOperands         = plan.StarOperands
+	MNOperands           = plan.MNOperands
+	InMemoryOperands     = plan.InMemoryOperands
+	PlannedLogReg        = plan.LogReg
+	PlannedLogRegMN      = plan.LogRegMN
+	PlannedKMeans        = plan.KMeans
+	PlannedGNMF          = plan.GNMF
 )
 
 // Serving layer (internal/serve): concurrent batched scoring over a

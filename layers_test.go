@@ -80,14 +80,18 @@ func TestOutOfCoreFacade(t *testing.T) {
 	if tracked != m.NumChunks() {
 		t.Fatalf("shard stats track %d chunks, matrix has %d", tracked, m.NumChunks())
 	}
-	km, err := ChunkedKMeans(m, 3, 2, 1)
+	env := PlanEnvFor(st, 0, 0)
+	km, kmDec, err := PlannedKMeans(env, m, 3, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if km.Centroids.Rows() != d || km.Centroids.Cols() != 3 {
 		t.Fatalf("centroids %dx%d", km.Centroids.Rows(), km.Centroids.Cols())
 	}
-	g, err := ChunkedGNMF(m, 2, 2, 1)
+	if !kmDec.Strategy.Chunked || kmDec.Rule == "" {
+		t.Fatalf("k-means decision not explainable: %+v", kmDec)
+	}
+	g, _, err := PlannedGNMF(env, m, 2, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
