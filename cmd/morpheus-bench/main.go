@@ -15,6 +15,7 @@
 //	morpheus-bench -chunked -remote-shards http://node1:9431 -pushdown
 //	morpheus-bench -exp chunkpar -inproc-chunkd 2 -pushdown -json
 //	morpheus-bench -exp table9 -plan -json > bench-plan.json
+//	morpheus-bench -exp chunkpar -codec shuffle-flate -zonemap -json
 //	morpheus-bench -exp fig3 -json > bench.json
 //
 // Each experiment prints a text table with the materialized (M) and
@@ -40,6 +41,16 @@
 // results identical to the all-local run. -inproc-chunkd N starts N
 // in-process chunkd workers on loopback and adds them to -remote-shards —
 // the single-binary smoke configuration CI runs.
+//
+// -codec wraps every spill backend with the named chunk codec (see
+// chunk.Codecs; currently shuffle-flate, a byte-shuffled DEFLATE), so
+// chunks are compressed at rest and on the wire — including through
+// morpheus-chunkd, whose /exec decodes them shard-side. -zonemap wraps
+// every spill backend with the zone-map annotator: per-chunk min/max/nnz
+// sidecars written at spill time let the streaming reductions skip chunks
+// proven all-zero without reading them. Both wrappers sit behind the
+// chunk.Backend seam, results stay bit-identical, and the -json output
+// records bytes_read, bytes_on_wire, chunks_skipped, and codec per result.
 //
 // -plan additionally routes every training workload through the
 // plan.Plan(op, operands, env) seam: each run records an explained
@@ -89,6 +100,9 @@ func run() error {
 		mem      = flag.Int("mem", 0, "out-of-core decoded-chunk memory budget in MB; chunk heights are autotuned from it (0 = 256)")
 		chunked  = flag.Bool("chunked", false, "run the out-of-core suite (chunkpar, chunkstar, table9, table10)")
 		planOn   = flag.Bool("plan", false, "route training workloads through the planner seam, record explained decisions, and verify each against its explicit twin")
+		codec    = flag.String("codec", "", "compress spill chunks with this chunk codec (see -list-codecs); empty = raw chunks")
+		zonemap  = flag.Bool("zonemap", false, "record per-chunk zone-map sidecars at spill time so reductions skip proven all-zero chunks")
+		listCdc  = flag.Bool("list-codecs", false, "list registered chunk codec names and exit")
 		asJSON   = flag.Bool("json", false, "emit results as one JSON array on stdout instead of text tables")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 	)
@@ -98,11 +112,20 @@ func run() error {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 		return nil
 	}
+	if *listCdc {
+		fmt.Println(strings.Join(chunk.Codecs(), "\n"))
+		return nil
+	}
+	if *codec != "" {
+		if _, err := chunk.CodecByName(*codec); err != nil {
+			return err
+		}
+	}
 	if *exp == "" && !*chunked {
 		fmt.Fprintln(os.Stderr, "morpheus-bench: -exp is required (try -list or -chunked)")
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, TmpDir: *tmpdir, Workers: *workers, MemBudgetMB: *mem, Pushdown: *pushdown, Plan: *planOn}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, TmpDir: *tmpdir, Workers: *workers, MemBudgetMB: *mem, Pushdown: *pushdown, Plan: *planOn, Codec: *codec, ZoneMap: *zonemap}
 	if *shards != "" {
 		for _, d := range strings.Split(*shards, ",") {
 			if d = strings.TrimSpace(d); d != "" {

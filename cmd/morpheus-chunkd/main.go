@@ -17,7 +17,12 @@
 // colsums, sum, kmeans-assign) over listed local chunks and streams back
 // the encoded partials in request order, so only partials — not chunks —
 // cross the wire; the driver remains the reducer and results are
-// bit-identical with an all-local pass. Uploads above -max-chunk-mb are
+// bit-identical with an all-local pass. An /exec request may name the
+// codec its stored blobs are framed with (a store whose shards sit behind
+// the compressing wrapper ships them compressed); this worker decodes them
+// shard-side before the chunk decode, and answers 400 — a per-request
+// error, not "no /exec" — for a codec it does not know.
+// Uploads above -max-chunk-mb are
 // rejected; writes are atomic (temp file + rename), so a client or server
 // crash never leaves a truncated chunk readable.
 //
@@ -31,6 +36,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 
 	"repro/internal/chunk"
 )
@@ -50,6 +56,6 @@ func main() {
 	if err != nil {
 		log.Fatalf("morpheus-chunkd: %v", err)
 	}
-	log.Printf("morpheus-chunkd: serving shard %s on %s (max chunk %d MiB)", *dir, *addr, *maxMB)
+	log.Printf("morpheus-chunkd: serving shard %s on %s (max chunk %d MiB; exec codecs: %s)", *dir, *addr, *maxMB, strings.Join(chunk.Codecs(), ", "))
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -58,11 +58,18 @@ const (
 	LeastBytes
 )
 
-// ShardStat is one shard's accounted footprint.
+// ShardStat is one shard's accounted footprint and read-side I/O: what was
+// placed there, what the passes actually fetched, and what zone maps let
+// them avoid fetching.
 type ShardStat struct {
 	Dir    string // shard identity: directory path, or base URL for a remote shard
 	Chunks int    // tracked chunk files placed on this shard
 	Bytes  int64  // bytes of written chunk files currently tracked
+
+	ChunksRead    int   // chunk blobs fetched from this shard
+	BytesRead     int64 // stored bytes of those fetches (compressed size under a codec)
+	ChunksSkipped int   // reads avoided because the shard's zone map proved the chunk all-zero
+	BytesSkipped  int64 // stored bytes those skipped reads would have fetched
 }
 
 // shard is one chunk backend (a spill directory or a remote chunk server)
@@ -72,6 +79,11 @@ type shard struct {
 	bytes   int64 // written bytes currently tracked on this shard
 	chunks  int   // tracked chunks (written or pending)
 	pending int   // allocated but not yet written
+
+	chunksRead    int   // blobs fetched by passes
+	bytesRead     int64 // stored bytes of those fetches
+	chunksSkipped int   // reads avoided via the zone map
+	bytesSkipped  int64 // stored bytes of the avoided reads
 }
 
 // chunkInfo is the store's bookkeeping for one chunk file.
@@ -427,15 +439,75 @@ func (s *Store) BytesOnDisk() int64 {
 	return b
 }
 
-// ShardStats reports each shard directory's tracked chunk count and bytes.
+// ShardStats reports each shard's tracked chunk count and bytes plus its
+// read-side I/O accounting (fetches and zone-map skips).
 func (s *Store) ShardStats() []ShardStat {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]ShardStat, len(s.shards))
 	for i := range s.shards {
-		out[i] = ShardStat{Dir: s.shards[i].backend.Name(), Chunks: s.shards[i].chunks, Bytes: s.shards[i].bytes}
+		sh := &s.shards[i]
+		out[i] = ShardStat{
+			Dir: sh.backend.Name(), Chunks: sh.chunks, Bytes: sh.bytes,
+			ChunksRead: sh.chunksRead, BytesRead: sh.bytesRead,
+			ChunksSkipped: sh.chunksSkipped, BytesSkipped: sh.bytesSkipped,
+		}
 	}
 	return out
+}
+
+// IOStats aggregates the store's read-side accounting across shards.
+type IOStats struct {
+	ChunksRead    int   `json:"chunks_read"`              // blobs fetched from shard backends
+	BytesRead     int64 `json:"bytes_read"`               // stored bytes of those fetches (compressed size under a codec)
+	ChunksSkipped int   `json:"chunks_skipped,omitempty"` // reads avoided via zone maps
+	BytesSkipped  int64 `json:"bytes_skipped,omitempty"`  // stored bytes of the avoided reads
+	BytesOnWire   int64 `json:"bytes_on_wire,omitempty"`  // chunk payload bytes that crossed remote-shard connections
+}
+
+// IOStats reports what the store's passes actually moved: blobs fetched
+// (at their stored size, so compression shows up as fewer bytes), reads
+// avoided because a zone map proved the chunk all-zero, and — for stores
+// with remote shards anywhere in their wrapper chains — the chunk payload
+// bytes that crossed the network.
+func (s *Store) IOStats() IOStats {
+	s.mu.Lock()
+	var out IOStats
+	backends := make([]Backend, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		out.ChunksRead += sh.chunksRead
+		out.BytesRead += sh.bytesRead
+		out.ChunksSkipped += sh.chunksSkipped
+		out.BytesSkipped += sh.bytesSkipped
+		backends[i] = sh.backend
+	}
+	s.mu.Unlock()
+	for _, b := range backends {
+		if m, ok := wireMeterOf(b); ok {
+			out.BytesOnWire += m.BytesOnWire()
+		}
+	}
+	return out
+}
+
+// ZoneMapShards reports how many shard backends record zone maps — the
+// structural fact the planner's placement axis reads before advertising
+// skip-aware execution in its Decision.
+func (s *Store) ZoneMapShards() int {
+	s.mu.Lock()
+	backends := make([]Backend, len(s.shards))
+	for i := range s.shards {
+		backends[i] = s.shards[i].backend
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, b := range backends {
+		if _, ok := zoneMapperOf(b); ok {
+			n++
+		}
+	}
+	return n
 }
 
 // Close deletes every chunk file the store still tracks — across all
@@ -558,30 +630,104 @@ func Build(store *Store, rows, cols, chunkRows int, gen func(lo, hi int, dst *la
 }
 
 // writeChunkFile encodes one dense chunk, stores it on the key's shard
-// backend, and attributes its size to that shard on success.
+// backend — annotated with its zone map when the backend records them, at
+// its compressed size when the backend compresses — and attributes the
+// stored size to that shard on success.
 func (s *Store) writeChunkFile(key string, d *la.Dense) error {
 	b, err := s.backendFor(key)
 	if err != nil {
 		return err
 	}
-	raw := encodeDenseChunk(d)
-	if err := b.WriteChunk(key, raw); err != nil {
+	stored, err := writeThrough(b, key, encodeDenseChunk(d), func() ZoneMap { return denseZoneMap(d) })
+	if err != nil {
 		return err
 	}
-	s.recordWrite(key, int64(len(raw)))
+	s.recordWrite(key, stored)
 	return nil
 }
 
+// readChunkBlob fetches key's blob from its shard backend — unless the
+// shard's zone map proves the chunk all-zero, in which case the read is
+// skipped entirely (skipped=true, no backend touched) and the caller
+// synthesizes the zero chunk the decode would have produced. Fetches and
+// skips feed the per-shard I/O accounting at the chunk's stored size, so
+// bytes_read reflects actual (possibly compressed) I/O and bytes_skipped
+// reflects what skipping avoided.
+func (s *Store) readChunkBlob(key string) (raw []byte, skipped bool, err error) {
+	s.mu.Lock()
+	info, ok := s.refs[key]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false, fmt.Errorf("chunk: %s is not tracked by this store (freed or foreign)", key)
+	}
+	si := info.shard
+	stored := info.bytes
+	b := s.shards[si].backend
+	s.mu.Unlock()
+	if zb, ok := zoneMapperOf(b); ok {
+		if zm, ok := zb.ZoneMap(key); ok && zm.AllZero {
+			s.mu.Lock()
+			s.shards[si].chunksSkipped++
+			s.shards[si].bytesSkipped += stored
+			s.mu.Unlock()
+			return nil, true, nil
+		}
+	}
+	raw, err = b.ReadChunk(key)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	s.shards[si].chunksRead++
+	s.shards[si].bytesRead += stored
+	s.mu.Unlock()
+	return raw, false, nil
+}
+
+// allZeroChunk reports whether key's shard zone map proves the chunk
+// all-zero — the fact runOp consults to commit an identity partial without
+// scheduling any read. Never touches chunk bytes.
+func (s *Store) allZeroChunk(key string) bool {
+	s.mu.Lock()
+	info, ok := s.refs[key]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	b := s.shards[info.shard].backend
+	s.mu.Unlock()
+	zb, ok := zoneMapperOf(b)
+	if !ok {
+		return false
+	}
+	zm, ok := zb.ZoneMap(key)
+	return ok && zm.AllZero
+}
+
+// noteSkip records a zone-map skip for a chunk whose read was elided above
+// the blob layer (runOp's identity-partial shortcut).
+func (s *Store) noteSkip(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.refs[key]
+	if !ok {
+		return
+	}
+	s.shards[info.shard].chunksSkipped++
+	s.shards[info.shard].bytesSkipped += info.bytes
+}
+
 // readDenseChunk fetches key from its shard backend and decodes it as a
-// rows×cols dense chunk.
+// rows×cols dense chunk; a zone-map-skipped read synthesizes the zero
+// chunk, which is bit-identical to what decoding would have produced
+// (AllZero admits only +0.0 cells).
 func (s *Store) readDenseChunk(key string, rows, cols int) (*la.Dense, error) {
-	b, err := s.backendFor(key)
+	raw, skipped, err := s.readChunkBlob(key)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := b.ReadChunk(key)
-	if err != nil {
-		return nil, err
+	if skipped {
+		return la.NewDense(rows, cols), nil
 	}
 	return decodeDenseChunk(key, raw, rows, cols)
 }
@@ -868,5 +1014,22 @@ func (m *Matrix) SumExec(ex Exec) (float64, error) {
 	return total, err
 }
 
-// BytesOnDisk reports the matrix's storage footprint.
-func (m *Matrix) BytesOnDisk() int64 { return int64(m.rows) * int64(m.cols) * 8 }
+// BytesOnDisk reports the matrix's storage footprint as the store tracks
+// it: the bytes actually written for its chunks — the compressed size when
+// a codec wrapper is in the shard's chain — not a shape-derived estimate.
+// Zero once the matrix has been freed (its files are gone).
+func (m *Matrix) BytesOnDisk() int64 { return m.store.trackedBytes(m.paths) }
+
+// trackedBytes sums the recorded written sizes of the given chunk keys;
+// untracked (freed) or not-yet-written keys contribute nothing.
+func (s *Store) trackedBytes(paths []string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b int64
+	for _, p := range paths {
+		if info, ok := s.refs[p]; ok && info.written {
+			b += info.bytes
+		}
+	}
+	return b
+}

@@ -241,6 +241,17 @@ func (s *ChunkServer) serveExec(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("invalid cols %d", req.Cols), http.StatusBadRequest)
 		return
 	}
+	var dec Codec
+	if req.Codec != "" {
+		// Unknown codec answers 400, not 501: 501 means "no /exec at all"
+		// and would poison the client's capability cache even for requests
+		// that ship no codec.
+		dec, err = CodecByName(req.Codec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
 	if len(req.Chunks) == 0 {
 		http.Error(w, "no chunks requested", http.StatusBadRequest)
 		return
@@ -269,6 +280,11 @@ func (s *ChunkServer) serveExec(w http.ResponseWriter, r *http.Request) {
 		raw, err := s.backend.ReadChunk(c.Key)
 		if err != nil {
 			return nil, err
+		}
+		if dec != nil {
+			if raw, err = dec.Decode(raw); err != nil {
+				return nil, fmt.Errorf("decoding %s with codec %s: %w", c.Key, dec.Name(), err)
+			}
 		}
 		if req.Kind == chunkKindCSR {
 			return decodeSparseChunk(c.Key, raw, c.Rows, req.Cols)

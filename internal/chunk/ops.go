@@ -47,13 +47,19 @@ var opRegistry = map[string]func(params []byte) (opState, error){
 		if len(params) != 0 {
 			return nil, fmt.Errorf("chunk: op crossprod takes no params")
 		}
-		return denseReduceOp{f: func(c la.Mat) *la.Dense { return c.CrossProd() }}, nil
+		return denseReduceOp{
+			f:    func(c la.Mat) *la.Dense { return c.CrossProd() },
+			zero: func(rows, cols int) *la.Dense { return la.NewDense(cols, cols) },
+		}, nil
 	},
 	"colsums": func(params []byte) (opState, error) {
 		if len(params) != 0 {
 			return nil, fmt.Errorf("chunk: op colsums takes no params")
 		}
-		return denseReduceOp{f: func(c la.Mat) *la.Dense { return c.ColSums() }}, nil
+		return denseReduceOp{
+			f:    func(c la.Mat) *la.Dense { return c.ColSums() },
+			zero: func(rows, cols int) *la.Dense { return la.NewDense(1, cols) },
+		}, nil
 	},
 	"sum": func(params []byte) (opState, error) {
 		if len(params) != 0 {
@@ -100,13 +106,30 @@ func prepareOp(op Op) (opState, error) {
 	return mk(op.Params)
 }
 
+// zeroPartialer is the skip-eligibility capability: ops whose partial for
+// an all-zero chunk depends only on the chunk's shape, so runOp can commit
+// it without reading, decoding, or even synthesizing the chunk. The value
+// MUST be bit-identical to apply on the zero chunk — true for the additive
+// reductions, because an AllZero zone map admits only +0.0 bit patterns
+// and IEEE-754 sums and products of +0.0 are exactly +0.0. kmeans-assign
+// is deliberately absent: its partial encodes real cluster assignments
+// even for a zero chunk, so skipped chunks are synthesized by the read
+// path (Store.readChunkBlob) and assigned for real instead.
+type zeroPartialer interface {
+	zeroPartial(rows, cols int) any
+}
+
 // denseReduceOp covers ops whose partial is a single dense matrix reduced
-// by element-wise addition (crossprod, colsums).
+// by element-wise addition (crossprod, colsums). zero builds the identity
+// partial for an all-zero rows×cols chunk.
 type denseReduceOp struct {
-	f func(c la.Mat) *la.Dense
+	f    func(c la.Mat) *la.Dense
+	zero func(rows, cols int) *la.Dense
 }
 
 func (o denseReduceOp) apply(c la.Mat) (any, error) { return o.f(c), nil }
+
+func (o denseReduceOp) zeroPartial(rows, cols int) any { return o.zero(rows, cols) }
 
 func (o denseReduceOp) encodePartial(v any) ([]byte, error) {
 	d, ok := v.(*la.Dense)
@@ -131,6 +154,8 @@ func (o denseReduceOp) decodePartial(raw []byte) (any, error) {
 type sumOp struct{}
 
 func (sumOp) apply(c la.Mat) (any, error) { return c.Sum(), nil }
+
+func (sumOp) zeroPartial(rows, cols int) any { return 0.0 }
 
 func (sumOp) encodePartial(v any) ([]byte, error) {
 	f, ok := v.(float64)

@@ -52,18 +52,50 @@ func (src opSource) runOp(ex Exec, op Op, commit func(ci int, v any) error) erro
 	ex = ex.normalized()
 	n := len(src.keys)
 	apply := func(ci int, c la.Mat) (any, error) { return st.apply(c) }
+
+	// Zone-map shortcut: chunks proven all-zero whose op can build its
+	// partial from the chunk shape alone never enter any pipeline — no
+	// read, no decode, no synthesis. Their precomputed partials are merged
+	// into the ordered commit below at their global positions, so the
+	// reduction still visits every chunk's partial in ascending order and
+	// the result stays bit-identical (an AllZero zone map admits only +0.0
+	// bit patterns, for which the identity partial is exactly what apply
+	// would have produced).
+	var pre map[int]any
+	if zp, ok := st.(zeroPartialer); ok {
+		for ci := 0; ci < n; ci++ {
+			if src.store.allZeroChunk(src.keys[ci]) {
+				if pre == nil {
+					pre = make(map[int]any)
+				}
+				pre[ci] = zp.zeroPartial(src.rowsAt(ci), src.cols)
+				src.store.noteSkip(src.keys[ci])
+			}
+		}
+	}
+
 	if !ex.Pushdown {
-		return runPipelineOrder(n, ex, src.store.readOrder(src.keys, ex), src.read, apply, commit)
+		if pre == nil {
+			return runPipelineOrder(n, ex, src.store.readOrder(src.keys, ex), src.read, apply, commit)
+		}
+		return src.runSkipping(ex, st, pre, commit)
 	}
 
 	// Partition the chunks by executing shard; chunks on passive shards
 	// (or untracked keys, which surface their error on read) stay local.
+	// Zone-proven all-zero chunks never ship: precomputed partials are
+	// excluded entirely, and ops without the shape-only shortcut route
+	// their all-zero chunks to the local group, where the read path
+	// synthesizes the zero chunk without touching the backend.
 	groups := make(map[int][]int)
 	execs := make(map[int]ExecBackend)
 	var local []int
 	for ci := 0; ci < n; ci++ {
+		if _, ok := pre[ci]; ok {
+			continue
+		}
 		si, eb := src.store.execBackendFor(src.keys[ci])
-		if eb == nil {
+		if eb == nil || src.store.allZeroChunk(src.keys[ci]) {
 			local = append(local, ci)
 			continue
 		}
@@ -71,7 +103,10 @@ func (src opSource) runOp(ex Exec, op Op, commit func(ci int, v any) error) erro
 		execs[si] = eb
 	}
 	if len(groups) == 0 {
-		return runPipelineOrder(n, ex, src.store.readOrder(src.keys, ex), src.read, apply, commit)
+		if pre == nil {
+			return runPipelineOrder(n, ex, src.store.readOrder(src.keys, ex), src.read, apply, commit)
+		}
+		return src.runSkipping(ex, st, pre, commit)
 	}
 
 	done := make(chan struct{})
@@ -113,6 +148,12 @@ func (src opSource) runOp(ex Exec, op Op, commit func(ci int, v any) error) erro
 	}
 
 	for ci := 0; ci < n; ci++ {
+		if v, ok := pre[ci]; ok {
+			if err := commit(ci, v); err != nil {
+				return err
+			}
+			continue
+		}
 		r := <-owner[ci]
 		if r.err != nil {
 			return r.err
@@ -125,6 +166,47 @@ func (src opSource) runOp(ex Exec, op Op, commit func(ci int, v any) error) erro
 		}
 	}
 	return nil
+}
+
+// runSkipping runs the local pipeline over only the chunks the zone-map
+// shortcut could not precompute, interleaving the precomputed identity
+// partials into the ordered commit at their global chunk positions: commit
+// still sees every chunk index exactly once, in ascending order.
+func (src opSource) runSkipping(ex Exec, st opState, pre map[int]any, commit func(ci int, v any) error) error {
+	n := len(src.keys)
+	pend := make([]int, 0, n-len(pre))
+	keys := make([]string, 0, n-len(pre))
+	for ci := 0; ci < n; ci++ {
+		if _, ok := pre[ci]; !ok {
+			pend = append(pend, ci)
+			keys = append(keys, src.keys[ci])
+		}
+	}
+	next := 0 // next global chunk index to commit
+	flush := func(upto int) error {
+		for ; next < upto; next++ {
+			if v, ok := pre[next]; ok {
+				if err := commit(next, v); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	err := runPipelineOrder(len(pend), ex, src.store.readOrder(keys, ex),
+		func(i int) (la.Mat, error) { return src.read(pend[i]) },
+		func(i int, c la.Mat) (any, error) { return st.apply(c) },
+		func(i int, v any) error {
+			if err := flush(pend[i]); err != nil {
+				return err
+			}
+			next = pend[i] + 1
+			return commit(pend[i], v)
+		})
+	if err != nil {
+		return err
+	}
+	return flush(n)
 }
 
 // sendRes delivers a result unless the pass was canceled.

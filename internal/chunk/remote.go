@@ -54,7 +54,17 @@ type RemoteBackend struct {
 	// noExec caches a definitive "this server has no /exec" answer
 	// (404/405/501) so later passes skip straight to the passive path.
 	noExec atomic.Bool
+	// wire counts chunk payload bytes shipped to or fetched from this
+	// shard (PUT bodies and GET responses; headers, retries of failed
+	// attempts, and /exec partial frames excluded). With a compressing
+	// wrapper around the backend this is the compressed byte count — the
+	// "ship less" half of the store's IOStats.
+	wire atomic.Int64
 }
+
+// BytesOnWire reports the chunk payload bytes this backend has moved over
+// the network so far.
+func (b *RemoteBackend) BytesOnWire() int64 { return b.wire.Load() }
 
 // NewRemoteBackend returns a Backend speaking to the chunk server at
 // baseURL (e.g. http://spill-node-1:9431). The URL must be absolute; any
@@ -157,6 +167,7 @@ func (b *RemoteBackend) WriteChunk(key string, data []byte) error {
 	if status != http.StatusNoContent && status != http.StatusOK && status != http.StatusCreated {
 		return statusErr(http.MethodPut, u, status, body)
 	}
+	b.wire.Add(int64(len(data)))
 	return nil
 }
 
@@ -175,6 +186,7 @@ func (b *RemoteBackend) ReadChunk(key string) ([]byte, error) {
 	if status != http.StatusOK {
 		return nil, statusErr(http.MethodGet, u, status, body)
 	}
+	b.wire.Add(int64(len(body)))
 	return body, nil
 }
 
@@ -259,6 +271,16 @@ func (b *RemoteBackend) ListKeys() ([]string, error) { return b.List() }
 // like every other verb; once the stream is open, failures surface through
 // PartialStream.Next and the caller falls back per chunk.
 func (b *RemoteBackend) ExecOp(op Op, kind string, cols int, chunks []ExecChunk) (*PartialStream, error) {
+	return b.execOpCodec(op, kind, cols, chunks, "")
+}
+
+// execOpCodec is ExecOp with content negotiation: codec (when non-empty)
+// names the framing of the stored blobs, and the worker decodes them
+// shard-side before the chunk decode. A server that does not know the
+// codec answers 400, which surfaces as a hard error here and drops the
+// group to the passive path — without caching noExec, since plain /exec
+// may still work.
+func (b *RemoteBackend) execOpCodec(op Op, kind string, cols int, chunks []ExecChunk, codec string) (*PartialStream, error) {
 	if b.noExec.Load() {
 		return nil, fmt.Errorf("%w: %s", ErrExecUnsupported, b.base)
 	}
@@ -267,7 +289,7 @@ func (b *RemoteBackend) ExecOp(op Op, kind string, cols int, chunks []ExecChunk)
 			return nil, fmt.Errorf("chunk: invalid chunk key %q", c.Key)
 		}
 	}
-	body, err := json.Marshal(execRequest{Op: op.Name, Params: op.Params, Kind: kind, Cols: cols, Chunks: chunks})
+	body, err := json.Marshal(execRequest{Op: op.Name, Params: op.Params, Kind: kind, Cols: cols, Codec: codec, Chunks: chunks})
 	if err != nil {
 		return nil, fmt.Errorf("chunk: encoding exec request: %w", err)
 	}
@@ -310,4 +332,6 @@ func (b *RemoteBackend) ExecOp(op Op, kind string, cols int, chunks []ExecChunk)
 var (
 	_ Backend     = (*RemoteBackend)(nil)
 	_ ExecBackend = (*RemoteBackend)(nil)
+	_ codecExecer = (*RemoteBackend)(nil)
+	_ wireMeter   = (*RemoteBackend)(nil)
 )

@@ -51,15 +51,10 @@ func sparseChunkBytes(rows int, nnz int64) int64 {
 	return 8*int64(3+rows+1) + 12*nnz
 }
 
-// BytesOnDisk reports the storage footprint of all chunk files.
-func (m *SparseMatrix) BytesOnDisk() int64 {
-	var b int64
-	for ci := range m.paths {
-		lo, hi := m.chunkBounds(ci)
-		b += sparseChunkBytes(hi-lo, 0)
-	}
-	return b + m.nnz*12
-}
+// BytesOnDisk reports the storage footprint as the store tracks it: the
+// bytes actually written for the matrix's chunks (compressed size when a
+// codec wrapper is in the shard's chain). Zero once the matrix is freed.
+func (m *SparseMatrix) BytesOnDisk() int64 { return m.store.trackedBytes(m.paths) }
 
 // Free releases the matrix's chunk files.
 func (m *SparseMatrix) Free() error {
@@ -106,17 +101,19 @@ func FromCSR(store *Store, c *la.CSR, chunkRows int) (*SparseMatrix, error) {
 }
 
 // writeSparseChunkFile encodes one CSR chunk, stores it on the key's shard
-// backend, and attributes its size to that shard on success.
+// backend — annotated with its zone map when the backend records them, at
+// its compressed size when the backend compresses — and attributes the
+// stored size to that shard on success.
 func (s *Store) writeSparseChunkFile(key string, c *la.CSR) error {
 	b, err := s.backendFor(key)
 	if err != nil {
 		return err
 	}
-	raw := encodeSparseChunk(c)
-	if err := b.WriteChunk(key, raw); err != nil {
+	stored, err := writeThrough(b, key, encodeSparseChunk(c), func() ZoneMap { return csrZoneMap(c) })
+	if err != nil {
 		return err
 	}
-	s.recordWrite(key, int64(len(raw)))
+	s.recordWrite(key, stored)
 	return nil
 }
 
@@ -152,15 +149,16 @@ func encodeSparseChunk(c *la.CSR) []byte {
 
 // readSparseChunk fetches key from its shard backend and decodes it,
 // validating shape and invariants (a corrupt blob surfaces as an error,
-// never a panic).
+// never a panic). A zone-map-skipped read synthesizes the empty CSR chunk,
+// allocated exactly as decodeSparseChunk would for a stored nnz=0 blob, so
+// the result is bit-identical to reading.
 func (s *Store) readSparseChunk(key string, rows, cols int) (*la.CSR, error) {
-	b, err := s.backendFor(key)
+	raw, skipped, err := s.readChunkBlob(key)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := b.ReadChunk(key)
-	if err != nil {
-		return nil, err
+	if skipped {
+		return la.NewCSR(rows, cols, make([]int, rows+1), make([]int32, 0), make([]float64, 0)), nil
 	}
 	return decodeSparseChunk(key, raw, rows, cols)
 }

@@ -22,8 +22,8 @@ func chunkpar(cfg Config) (Result, error) {
 		ID:     "chunkpar",
 		Title:  "Out-of-core engine: serial vs parallel chunked execution (GLM iterations + operators)",
 		Header: []string{"workload", "serial(s)", "parallel(s)", "speedup"},
-		Notes: fmt.Sprintf("workers=%d prefetch=%d pushdown=%v GOMAXPROCS=%d; identical results asserted (ordered commit); store emptied on completion",
-			par.Workers, par.Prefetch, par.Pushdown, runtime.GOMAXPROCS(0)),
+		Notes: fmt.Sprintf("workers=%d prefetch=%d pushdown=%v codec=%q zonemap=%v GOMAXPROCS=%d; identical results asserted (ordered commit); store emptied on completion",
+			par.Workers, par.Prefetch, par.Pushdown, cfg.Codec, cfg.ZoneMap, runtime.GOMAXPROCS(0)),
 	}
 	st, cleanup, err := chunkStore(cfg, "chunkpar")
 	if err != nil {
@@ -127,6 +127,41 @@ func chunkpar(cfg Config) (Result, error) {
 	}); err != nil {
 		return Result{}, err
 	}
+
+	// Sparse zero-band pass: a CSR whose odd chunk-row bands hold no stored
+	// entries, the Table-6-style sparsity pattern that rewards chunk
+	// skipping. With a zone-map store (-zonemap) the reductions skip the
+	// empty bands' chunks outright — ChunksSkipped below counts them.
+	zRows := 8 * chunkRows
+	zCols := 32
+	indptr := make([]int, zRows+1)
+	var zIdx []int32
+	var zVals []float64
+	for i := 0; i < zRows; i++ {
+		if (i/chunkRows)%2 == 0 {
+			zIdx = append(zIdx, int32(i%zCols))
+			zVals = append(zVals, float64(1+i%7))
+		}
+		indptr[i+1] = len(zIdx)
+	}
+	zM, err := chunk.FromCSR(st, la.NewCSR(zRows, zCols, indptr, zIdx, zVals), chunkRows)
+	if err != nil {
+		return Result{}, err
+	}
+	defer zM.Free()
+	if err := row("crossprod(sparse zero-band)", zM.CrossProdExec); err != nil {
+		return Result{}, err
+	}
+	if err := row("colsums(sparse zero-band)", zM.ColSumsExec); err != nil {
+		return Result{}, err
+	}
+
+	io := st.IOStats()
+	res.BytesRead = io.BytesRead
+	res.BytesOnWire = io.BytesOnWire
+	res.ChunksSkipped = io.ChunksSkipped
+	res.BytesSkipped = io.BytesSkipped
+	res.Codec = cfg.Codec
 	return res, nil
 }
 

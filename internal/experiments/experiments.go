@@ -31,6 +31,16 @@ type Result struct {
 	// explained plan.Decision per planner-driven workload, each verified
 	// bit-identical to the explicit run it selected before being recorded.
 	Decisions []plan.Decision `json:"decisions,omitempty"`
+	// I/O accounting, filled by the out-of-core experiments from the chunk
+	// store's IOStats at the end of the run: bytes actually read from spill
+	// backends, bytes that traveled a remote shard's wire, chunks (and their
+	// stored bytes) the zone-map shortcut skipped without reading, and the
+	// spill codec in effect (empty = raw chunks).
+	BytesRead     int64  `json:"bytes_read,omitempty"`
+	BytesOnWire   int64  `json:"bytes_on_wire,omitempty"`
+	ChunksSkipped int    `json:"chunks_skipped,omitempty"`
+	BytesSkipped  int64  `json:"bytes_skipped,omitempty"`
+	Codec         string `json:"codec,omitempty"`
 }
 
 // Format renders the result as an aligned text table.
@@ -103,6 +113,14 @@ type Config struct {
 	// is bit-identical to the explicit run it selected (a divergence is an
 	// error), and records the explained Decisions on the Result.
 	Plan bool
+	// Codec names a registered chunk codec (chunk.CodecByName); every spill
+	// backend is wrapped so chunks are compressed at rest and on the wire.
+	// Empty means raw chunks.
+	Codec string
+	// ZoneMap wraps every spill backend with the zone-map annotator, so
+	// streaming reductions skip chunks proven all-zero at spill time.
+	// Composition order is fixed: compression inside, zone maps outside.
+	ZoneMap bool
 }
 
 // DefaultConfig returns Scale=1, Seed=1.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/chunk"
@@ -129,50 +130,86 @@ func table8(cfg Config) (Result, error) {
 }
 
 func chunkStore(cfg Config, name string) (*chunk.Store, func(), error) {
+	var backends []chunk.Backend
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	fail := func(err error) (*chunk.Store, func(), error) {
+		cleanup()
+		return nil, nil, err
+	}
+	policy := chunk.RoundRobin
 	if len(cfg.ShardDirs) > 0 || len(cfg.RemoteShards) > 0 {
 		// User-supplied shards — local directories (different disks)
 		// and/or remote chunkd servers — are not removed, but Close still
 		// deletes every spill file the run created, on every shard.
-		backends := make([]chunk.Backend, 0, len(cfg.ShardDirs)+len(cfg.RemoteShards))
+		policy = chunk.LeastBytes
 		for _, d := range cfg.ShardDirs {
 			b, err := chunk.NewDirBackend(d)
 			if err != nil {
-				return nil, nil, err
+				return fail(err)
 			}
 			backends = append(backends, b)
 		}
 		for _, u := range cfg.RemoteShards {
 			b, err := chunk.NewRemoteBackend(u)
 			if err != nil {
-				return nil, nil, err
+				return fail(err)
 			}
 			backends = append(backends, b)
 		}
-		st, err := chunk.NewShardedStoreBackends(backends, chunk.LeastBytes)
-		if err != nil {
-			return nil, nil, err
+	} else {
+		dir := cfg.TmpDir
+		if dir == "" {
+			// A user-supplied directory is not removed, but Close still
+			// deletes every spill file the run created; this temp one is.
+			d, err := os.MkdirTemp("", "morpheus-"+name+"-*")
+			if err != nil {
+				return nil, nil, err
+			}
+			cleanups = append(cleanups, func() { os.RemoveAll(d) })
+			dir = d
 		}
-		return st, func() { st.Close() }, nil
+		b, err := chunk.NewDirBackend(dir)
+		if err != nil {
+			return fail(err)
+		}
+		backends = append(backends, b)
 	}
-	dir := cfg.TmpDir
-	if dir == "" {
-		d, err := os.MkdirTemp("", "morpheus-"+name+"-*")
-		if err != nil {
-			return nil, nil, err
+	// Wrapper composition is fixed: compression innermost (bytes at rest
+	// and on the wire are framed), zone maps outermost (annotations
+	// describe the decoded chunk values).
+	if cfg.Codec != "" {
+		for i, b := range backends {
+			wb, err := chunk.NewCompressingBackend(b, cfg.Codec)
+			if err != nil {
+				return fail(err)
+			}
+			backends[i] = wb
 		}
-		st, err := chunk.NewStore(d)
-		if err != nil {
-			return nil, nil, err
-		}
-		return st, func() { st.Close(); os.RemoveAll(d) }, nil
 	}
-	// A user-supplied directory is not removed, but Close still deletes
-	// every spill file the run created.
-	st, err := chunk.NewStore(dir)
+	if cfg.ZoneMap {
+		zdir, err := os.MkdirTemp("", "morpheus-"+name+"-zm-*")
+		if err != nil {
+			return fail(err)
+		}
+		cleanups = append(cleanups, func() { os.RemoveAll(zdir) })
+		for i, b := range backends {
+			wb, err := chunk.NewZoneMapBackend(b, filepath.Join(zdir, fmt.Sprintf("shard%d", i)))
+			if err != nil {
+				return fail(err)
+			}
+			backends[i] = wb
+		}
+	}
+	st, err := chunk.NewShardedStoreBackends(backends, policy)
 	if err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
-	return st, func() { st.Close() }, nil
+	return st, func() { st.Close(); cleanup() }, nil
 }
 
 // chunkExec is the parallel out-of-core execution used by the §5.2.4

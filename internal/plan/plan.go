@@ -109,6 +109,10 @@ type Env struct {
 	// ShardBytes is ShardStats' per-shard footprint, the placement fact
 	// behind the read-interleave choice.
 	ShardBytes []int64 `json:"shard_bytes,omitempty"`
+	// ZoneMapShards counts shards whose backend records zone maps at spill
+	// time — the placement fact behind skip-aware scheduling: on such
+	// shards, all-zero chunks commit identity partials without a read.
+	ZoneMapShards int `json:"zone_map_shards,omitempty"`
 	// Advisor overrides the §5.1 thresholds; the zero value means
 	// core.DefaultAdvisor() (τ=5, ρ=1).
 	Advisor core.Advisor `json:"advisor,omitzero"`
@@ -121,6 +125,7 @@ func EnvFor(st *chunk.Store, workers int, memBudgetBytes int64) Env {
 	if st != nil {
 		e.Shards = st.NumShards()
 		e.ExecShards = st.ExecShards()
+		e.ZoneMapShards = st.ZoneMapShards()
 		for _, s := range st.ShardStats() {
 			e.ShardBytes = append(e.ShardBytes, s.Bytes)
 		}
@@ -158,6 +163,10 @@ type Strategy struct {
 	// round-robin across shards (informational: the pipeline applies it
 	// automatically whenever chunks span shards).
 	Interleave bool `json:"interleave,omitempty"`
+	// SkipAware records that zone-map-annotated shards let the pass skip
+	// proven all-zero chunks (informational: runOp consults zone maps
+	// automatically whenever the store's backends record them).
+	SkipAware bool `json:"skip_aware,omitempty"`
 }
 
 // Exec returns the chunk execution configuration the strategy selects.
@@ -203,6 +212,9 @@ func (d Decision) String() string {
 	}
 	if d.Strategy.Interleave {
 		opts = append(opts, "interleave")
+	}
+	if d.Strategy.SkipAware {
+		opts = append(opts, "skip")
 	}
 	opt := ""
 	if len(opts) > 0 {
@@ -320,6 +332,10 @@ func Plan(op Op, o Operands, env Env) Decision {
 	if d.Strategy.Chunked && env.Shards > 1 && d.Strategy.Workers > 1 {
 		d.Strategy.Interleave = true
 		rule("placement", "interleave — reads round-robin across %d shards (ShardStats: %v bytes)", env.Shards, env.ShardBytes)
+	}
+	if d.Strategy.Chunked && env.ZoneMapShards > 0 {
+		d.Strategy.SkipAware = true
+		rule("placement", "skip-aware — %d shard(s) record zone maps: all-zero chunks commit identity partials without a read", env.ZoneMapShards)
 	}
 
 	d.PlanMicros = float64(time.Since(start).Nanoseconds()) / 1e3

@@ -134,6 +134,22 @@ type ChunkKMeansResult = chunk.KMeansResult
 // ChunkGNMFResult holds the streamed GNMF factors: chunked W, in-memory H.
 type ChunkGNMFResult = chunk.GNMFResult
 
+// ChunkCodec frames chunk blobs for compressed storage and transport;
+// NewCompressingChunkBackend applies one behind the backend seam.
+type ChunkCodec = chunk.Codec
+
+// ChunkZoneMap is the per-chunk metadata (min/max/nnz/all-zero/column
+// blocks) the zone-map wrapper records at spill time so streaming
+// reductions can skip proven non-contributing chunks.
+type ChunkZoneMap = chunk.ZoneMap
+
+// ChunkIOStats aggregates a store's read/skip/wire accounting.
+type ChunkIOStats = chunk.IOStats
+
+// ChunkCodecShuffleFlate is the built-in chunk codec: byte-shuffled
+// DEFLATE with a stored fallback for incompressible blobs.
+const ChunkCodecShuffleFlate = chunk.CodecShuffleFlate
+
 // Out-of-core entry points.
 var (
 	NewChunkStore                = chunk.NewStore
@@ -142,6 +158,10 @@ var (
 	NewChunkDirBackend           = chunk.NewDirBackend
 	NewRemoteChunkBackend        = chunk.NewRemoteBackend
 	NewChunkServer               = chunk.NewChunkServer
+	NewCompressingChunkBackend   = chunk.NewCompressingBackend
+	NewZoneMapChunkBackend       = chunk.NewZoneMapBackend
+	ChunkCodecByName             = chunk.CodecByName
+	ChunkCodecs                  = chunk.Codecs
 	ChunkBuild                   = chunk.Build
 	ChunkFromDense               = chunk.FromDense
 	ChunkFromCSR                 = chunk.FromCSR
