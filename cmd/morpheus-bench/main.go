@@ -60,6 +60,15 @@
 // -json the decisions appear under each result's "decisions" field, which
 // is how CI's plan-smoke step archives the planner trace.
 //
+// -exp serve-mutate runs the HTAP serving workload: an epoch-aware scorer
+// over a versioned store, measured at steady state and then under a
+// commit storm — per-commit publish latency (including the incremental
+// partial-product patch), epochs/sec, and the scoring throughput retained
+// while mutating. -mutate sets the rows upserted per commit. The run
+// asserts the patched scorer identical (≤1e-12) to a from-scratch rebuild
+// at the final epoch and fails otherwise, so CI's epoch smoke step gates
+// on the differential, like the plan smoke does.
+//
 // -json replaces the text tables with one JSON array of results on stdout
 // (the schema is experiments.Result: id/title/header/rows/notes, plus
 // decisions under -plan), the machine-readable record CI archives per run
@@ -102,6 +111,7 @@ func run() error {
 		planOn   = flag.Bool("plan", false, "route training workloads through the planner seam, record explained decisions, and verify each against its explicit twin")
 		codec    = flag.String("codec", "", "compress spill chunks with this chunk codec (see -list-codecs); empty = raw chunks")
 		zonemap  = flag.Bool("zonemap", false, "record per-chunk zone-map sidecars at spill time so reductions skip proven all-zero chunks")
+		mutate   = flag.Int("mutate", 0, "rows upserted per epoch commit in the serve-mutate experiment (0 = scale-derived default)")
 		listCdc  = flag.Bool("list-codecs", false, "list registered chunk codec names and exit")
 		asJSON   = flag.Bool("json", false, "emit results as one JSON array on stdout instead of text tables")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
@@ -125,7 +135,7 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "morpheus-bench: -exp is required (try -list or -chunked)")
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, TmpDir: *tmpdir, Workers: *workers, MemBudgetMB: *mem, Pushdown: *pushdown, Plan: *planOn, Codec: *codec, ZoneMap: *zonemap}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, TmpDir: *tmpdir, Workers: *workers, MemBudgetMB: *mem, Pushdown: *pushdown, Plan: *planOn, Codec: *codec, ZoneMap: *zonemap, MutateRows: *mutate}
 	if *shards != "" {
 		for _, d := range strings.Split(*shards, ",") {
 			if d = strings.TrimSpace(d); d != "" {

@@ -6,12 +6,28 @@
 // Usage:
 //
 //	morpheus-serve -ns 20000 -ds 20 -nr 1000 -dr 80 -model logreg <ids.txt
+//	morpheus-serve -mutable            # versioned store + online updates
 //
 // Each input line is one request: a row id, or a comma-separated list of
 // row ids (CSV) served as one batch. The special line "all" scores every
 // row. Output is "id,score" per request row. With -compare, the tool first
 // reports the cached-partial speedup over rerunning the factorized
 // predictor.
+//
+// With -mutable the feature store is wrapped in a versioned epoch store
+// (internal/epoch) served by an epoch-aware scorer, and three more
+// request forms mutate it online:
+//
+//	set s 17 0.5,1.25,...     # stage new features for entity tuple 17
+//	set r1 3 0.1,0.2,...      # stage new features for tuple 3 of R_1
+//	commit                    # publish staged rows as one new epoch
+//	epoch                     # print the epoch currently served
+//
+// Staged rows are invisible until commit; commit patches the scorer's
+// cached partial products incrementally (subtract old contribution, add
+// new) before returning, so the next score already reflects the new
+// epoch. Scoring requests racing a commit observe exactly one epoch per
+// batch — never a mix.
 package main
 
 import (
@@ -25,10 +41,18 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/epoch"
 	"repro/internal/la"
 	"repro/internal/ml"
 	"repro/internal/serve"
 )
+
+// scorer is what request handling needs from either scorer flavor; both
+// serve.Scorer and serve.EpochScorer satisfy it.
+type scorer interface {
+	serve.BatchScorer
+	ScoreAll() []float64
+}
 
 func main() {
 	var (
@@ -45,6 +69,7 @@ func main() {
 		delay   = flag.Duration("delay", 100*time.Microsecond, "micro-batch max delay")
 		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		compare = flag.Bool("compare", false, "report cached vs naive scoring throughput before serving")
+		mutable = flag.Bool("mutable", false, "serve from a versioned epoch store accepting set/commit/epoch requests")
 	)
 	flag.Parse()
 
@@ -76,12 +101,28 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "trained %s factorized in %v\n", *model, time.Since(start).Round(time.Millisecond))
 
-	sc, err := serve.NewScorer(nm, w, head)
-	if err != nil {
-		fail("building scorer: %v", err)
-	}
-	if *compare {
-		reportSpeedup(sc, nm.Rows(), head, w)
+	var sc scorer
+	var st *epoch.Store
+	if *mutable {
+		st, err = epoch.NewStore(nm)
+		if err != nil {
+			fail("building epoch store: %v", err)
+		}
+		es, err := serve.NewEpochScorer(st, w, head)
+		if err != nil {
+			fail("building scorer: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "mutable store at epoch %d (set/commit/epoch requests enabled)\n", es.Version())
+		sc = es
+	} else {
+		s, err := serve.NewScorer(nm, w, head)
+		if err != nil {
+			fail("building scorer: %v", err)
+		}
+		if *compare {
+			reportSpeedup(s, nm.Rows(), head, w)
+		}
+		sc = s
 	}
 	b := serve.NewBatcher(sc, serve.BatchOptions{MaxBatch: *batch, MaxDelay: *delay, Workers: *workers})
 	defer b.Close()
@@ -95,6 +136,10 @@ func main() {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
+		if st != nil && handleMutation(line, st, out) {
+			out.Flush()
+			continue
+		}
 		handleRequest(line, sc, b, out)
 		// Flush per request so interactive callers see their response
 		// immediately rather than at buffer/EOF boundaries.
@@ -105,9 +150,85 @@ func main() {
 	}
 }
 
+// handleMutation serves the -mutable request forms; it reports whether
+// the line was a mutation request (handled or rejected) as opposed to a
+// scoring request.
+func handleMutation(line string, st *epoch.Store, out *bufio.Writer) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "epoch":
+		fmt.Fprintf(out, "epoch,%d\n", st.Version())
+		return true
+	case "commit":
+		c, err := st.Commit()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "commit failed: %v\n", err)
+			return true
+		}
+		fmt.Fprintf(out, "epoch,%d,rows,%d\n", c.Version, c.RowsChanged())
+		return true
+	case "set":
+		if len(fields) != 4 {
+			fmt.Fprintf(os.Stderr, "skipping %q: want 'set s|rN ROW v1,v2,...'\n", line)
+			return true
+		}
+		row, err := strconv.Atoi(fields[2])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %q: bad row %q\n", line, fields[2])
+			return true
+		}
+		vals, err := parseVals(fields[3])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %q: %v\n", line, err)
+			return true
+		}
+		switch {
+		case fields[1] == "s":
+			err = st.UpsertEntity(row, vals)
+		case strings.HasPrefix(fields[1], "r"):
+			t, terr := strconv.Atoi(fields[1][1:])
+			if terr != nil || t < 1 {
+				fmt.Fprintf(os.Stderr, "skipping %q: bad table %q (want s or r1..r%d)\n", line, fields[1], st.NumTables())
+				return true
+			}
+			err = st.UpsertAttr(t-1, row, vals)
+		default:
+			fmt.Fprintf(os.Stderr, "skipping %q: bad table %q (want s or r1..r%d)\n", line, fields[1], st.NumTables())
+			return true
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %q: %v\n", line, err)
+			return true
+		}
+		fmt.Fprintf(out, "staged,%d\n", st.Pending())
+		return true
+	}
+	return false
+}
+
+func parseVals(csv string) ([]float64, error) {
+	fields := strings.Split(csv, ",")
+	vals := make([]float64, 0, len(fields))
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", f)
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("no values")
+	}
+	return vals, nil
+}
+
 // handleRequest serves one input line: "all", a single row id, or a
 // comma-separated batch. Bad requests are reported to stderr and skipped.
-func handleRequest(line string, sc *serve.Scorer, b *serve.Batcher, out *bufio.Writer) {
+func handleRequest(line string, sc scorer, b *serve.Batcher, out *bufio.Writer) {
 	if line == "all" {
 		for id, v := range sc.ScoreAll() {
 			fmt.Fprintf(out, "%d,%g\n", id, v)

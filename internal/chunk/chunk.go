@@ -599,6 +599,33 @@ func FromDense(store *Store, d *la.Dense, chunkRows int) (*Matrix, error) {
 	})
 }
 
+// RowSource is a row-addressable matrix view that can be streamed into
+// chunked storage without ever materializing as a whole — the seam
+// through which epoch snapshots (base table + copy-on-write overlay)
+// reach the out-of-core engine. Implementations must be safe for
+// concurrent ReadRow calls.
+type RowSource interface {
+	Rows() int
+	Cols() int
+	// ReadRow copies row i into dst, which has length Cols().
+	ReadRow(i int, dst []float64)
+}
+
+// FromRowSource streams src into chunks of chunkRows rows and spills
+// them, one row at a time — only one chunk buffer is resident. src is
+// read exactly once per row, in ascending row order.
+func FromRowSource(store *Store, src RowSource, chunkRows int) (*Matrix, error) {
+	if chunkRows <= 0 {
+		return nil, fmt.Errorf("chunk: chunkRows must be positive, got %d", chunkRows)
+	}
+	cols := src.Cols()
+	return Build(store, src.Rows(), cols, chunkRows, func(lo, hi int, dst *la.Dense) {
+		for i := lo; i < hi; i++ {
+			src.ReadRow(i, dst.Row(i-lo))
+		}
+	})
+}
+
 // Build streams rows from gen (called once per chunk with the half-open row
 // range) directly to disk, so matrices larger than memory can be created.
 // On failure every chunk written so far is removed.

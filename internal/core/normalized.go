@@ -71,6 +71,16 @@ func NewMultiMN(irs []*la.Indicator, rs []la.Mat) (*NormalizedMatrix, error) {
 	return newNormalized(nil, nil, irs, rs)
 }
 
+// New builds a normalized matrix from its general form
+// T = [IS·S, K1·R1, ..., Kq·Rq]: is nil means the entity side needs no
+// row expansion (PK-FK/star, T = [S, K·R...]). It generalizes the shape
+// variants above for callers — like epoch snapshots — that rebuild a
+// matrix over an arbitrary pre-validated join structure with fresh base
+// tables.
+func New(s la.Mat, is *la.Indicator, ks []*la.Indicator, rs []la.Mat) (*NormalizedMatrix, error) {
+	return newNormalized(s, is, ks, rs)
+}
+
 func newNormalized(s la.Mat, is *la.Indicator, ks []*la.Indicator, rs []la.Mat) (*NormalizedMatrix, error) {
 	if len(ks) != len(rs) {
 		return nil, fmt.Errorf("%w: %d indicators for %d attribute tables", ErrShape, len(ks), len(rs))

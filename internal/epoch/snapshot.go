@@ -1,0 +1,119 @@
+package epoch
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/la"
+)
+
+// Snapshot is a pinned, immutable view of one epoch: every table read
+// through it observes the same version, no matter how many commits land
+// while it is held. Snapshots are safe for concurrent use; all reads are
+// served from the base tables plus the epoch's overlay, so pinning is
+// O(1) and holding a snapshot costs only the overlay it retains.
+// Release the snapshot when done so superseded epochs can be reclaimed.
+type Snapshot struct {
+	store   *Store
+	ep      *epochState
+	views   []*viewMat
+	release sync.Once
+}
+
+// Version reports the epoch this snapshot is pinned to.
+func (s *Snapshot) Version() Version { return s.ep.version }
+
+// Rows reports the logical row count of the join output T.
+func (s *Snapshot) Rows() int { return s.store.nRows }
+
+// NumTables reports the number of attribute tables q.
+func (s *Snapshot) NumTables() int { return s.store.NumTables() }
+
+// S returns the entity feature table at this epoch (nil when the schema
+// has none). The returned matrix is immutable and safe for concurrent
+// use; element reads are served lazily from base + overlay.
+func (s *Snapshot) S() la.Mat {
+	if s.views[0] == nil {
+		return nil
+	}
+	return s.views[0]
+}
+
+// R returns attribute table t at this epoch. Same guarantees as S.
+func (s *Snapshot) R(t int) la.Mat { return s.views[1+t] }
+
+// NormalizedMatrix assembles the snapshot into a core.NormalizedMatrix
+// over the store's frozen join structure, for in-memory training or a
+// fresh scorer. The result reads through the snapshot's views — build
+// cost is O(1), and training on it under concurrent commits is bitwise
+// identical to training on a frozen copy of the epoch.
+func (s *Snapshot) NormalizedMatrix() (*core.NormalizedMatrix, error) {
+	var sm la.Mat
+	if s.views[0] != nil {
+		sm = s.views[0]
+	}
+	rs := make([]la.Mat, s.store.NumTables())
+	for t := range rs {
+		rs[t] = s.views[1+t]
+	}
+	return core.New(sm, s.store.is, s.store.ks, rs)
+}
+
+// BuildChunked streams the snapshot into cs as an out-of-core
+// star-schema table: the entity table is spilled row-by-row through the
+// epoch view (base + overlay, never materialized whole), each
+// foreign-key column is spilled chunk-aligned with it, and the attribute
+// tables stay in memory as epoch views. Only PK-FK/star schemas chunk;
+// M:N snapshots (IS() != nil) and schemas without an entity feature
+// table return an error. The caller owns the returned table's on-disk
+// chunks (Free them); the snapshot must stay pinned only while this call
+// runs — training on the result afterwards needs no pin, because the
+// spilled chunks and the in-memory R views are immutable.
+func (s *Snapshot) BuildChunked(cs *chunk.Store, chunkRows int) (*chunk.NormalizedTable, error) {
+	if s.store.is != nil {
+		return nil, errors.New("epoch: chunked snapshots support PK-FK/star schemas only (no M:N row expansion)")
+	}
+	if s.views[0] == nil {
+		return nil, errors.New("epoch: chunked snapshot requires an entity feature table")
+	}
+	sm, err := chunk.FromRowSource(cs, s.views[0], chunkRows)
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]chunk.AttrTable, s.store.NumTables())
+	for t := range attrs {
+		fk, err := chunk.BuildIntVector(cs, s.store.ks[t].Assignments(), chunkRows)
+		if err != nil {
+			freeAttrs(sm, attrs[:t])
+			return nil, err
+		}
+		attrs[t] = chunk.AttrTable{FK: fk, R: s.views[1+t]}
+	}
+	nt, err := chunk.NewStarTable(sm, attrs)
+	if err != nil {
+		freeAttrs(sm, attrs)
+		return nil, err
+	}
+	return nt, nil
+}
+
+// freeAttrs releases partially built chunked state on a failed
+// BuildChunked so store accounting returns to baseline.
+func freeAttrs(sm *chunk.Matrix, attrs []chunk.AttrTable) {
+	sm.Free()
+	for _, a := range attrs {
+		if a.FK != nil {
+			a.FK.Free()
+		}
+	}
+}
+
+// Release unpins the snapshot's epoch; once every pin on a superseded
+// epoch is released it is reclaimed (LiveEpochs returns to 1). Release
+// is idempotent; using the snapshot after Release is still safe for
+// reads already started, but new reads should not rely on it.
+func (s *Snapshot) Release() {
+	s.release.Do(func() { s.store.release(s.ep) })
+}

@@ -1,0 +1,267 @@
+package epoch
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/la"
+	"repro/internal/ml"
+)
+
+func testChunkStore(t *testing.T) *chunk.Store {
+	t.Helper()
+	cs, err := chunk.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cs.Close() })
+	return cs
+}
+
+func labels(rng *rand.Rand, n int) *la.Dense {
+	y := la.NewDense(n, 1)
+	for i := range y.Data() {
+		if rng.Intn(2) == 0 {
+			y.Data()[i] = 1
+		} else {
+			y.Data()[i] = -1
+		}
+	}
+	return y
+}
+
+// frozenCopy deep-copies a snapshot's tables, preserving storage class,
+// as the immutable reference the pinned views must match bitwise.
+func frozenCopy(snap *Snapshot) (la.Mat, []la.Mat) {
+	var s la.Mat
+	if snap.S() != nil {
+		s = snap.S().CloneMat()
+	}
+	rs := make([]la.Mat, snap.NumTables())
+	for t := range rs {
+		rs[t] = snap.R(t).CloneMat()
+	}
+	return s, rs
+}
+
+// TestBuildChunkedDifferential streams a patched snapshot into chunked
+// storage, trains out-of-core, and pins the result bitwise against the
+// same training over a frozen copy of the epoch — then checks the chunk
+// store's accounting returns to baseline.
+func TestBuildChunkedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, sparse := range []bool{false, true} {
+		st := pkfkStore(t, rng, sparse)
+		for k := 0; k < 3; k++ {
+			for i := k; i < st.EntityRows(); i += 3 {
+				if err := st.UpsertEntity(i, randRow(rng, st.EntityCols())); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := st.UpsertAttr(0, k, randRow(rng, st.AttrCols(0))); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap := st.Pin()
+		frozenS, frozenRs := frozenCopy(snap)
+		y := labels(rng, st.Rows())
+
+		cs := testChunkStore(t)
+		nt, err := snap.BuildChunked(cs, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := chunk.LogRegFactorizedExec(chunk.Parallel(), nt, y, 5, 1e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Frozen reference: same chunking over deep copies of the epoch.
+		sm, err := chunk.FromDense(cs, frozenS.Dense(), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fk, err := chunk.BuildIntVector(cs, st.Ks()[0].Assignments(), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := chunk.NewStarTable(sm, []chunk.AttrTable{{FK: fk, R: frozenRs[0]}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := chunk.LogRegFactorizedExec(chunk.Parallel(), ref, y, 5, 1e-3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if la.MaxAbsDiff(got.W, want.W) != 0 {
+			t.Fatalf("sparse=%v: chunked training over snapshot differs from frozen copy", sparse)
+		}
+
+		snap.Release()
+		if st.LiveEpochs() != 1 {
+			t.Fatalf("live epochs %d, want 1", st.LiveEpochs())
+		}
+		if err := nt.Free(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Free(); err != nil {
+			t.Fatal(err)
+		}
+		if cs.LiveChunks() != 0 || cs.BytesOnDisk() != 0 {
+			t.Fatalf("chunk accounting not at baseline: %d chunks, %d bytes", cs.LiveChunks(), cs.BytesOnDisk())
+		}
+	}
+}
+
+// TestBuildChunkedRejects pins the documented unsupported shapes.
+func TestBuildChunkedRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cs := testChunkStore(t)
+
+	// No entity feature table.
+	nm, err := core.NewPKFK(nil, randIndicatorE(rng, 10, 3), randDense(rng, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStore(nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Pin()
+	if _, err := snap.BuildChunked(cs, 8); err == nil {
+		t.Fatal("no-entity snapshot chunked without error")
+	}
+	snap.Release()
+
+	// M:N schemas need row expansion the chunked star table doesn't model.
+	mn, err := core.NewMN(randDense(rng, 6, 2), la.NewIndicator([]int{0, 1, 2, 3, 4, 5}, 6),
+		la.NewIndicator([]int{0, 0, 1, 1, 2, 2}, 4), randDense(rng, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stMN, err := NewStore(mn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapMN := stMN.Pin()
+	if _, err := snapMN.BuildChunked(cs, 8); err == nil {
+		t.Fatal("M:N snapshot chunked without error")
+	}
+	snapMN.Release()
+
+	if cs.LiveChunks() != 0 {
+		t.Fatalf("rejected builds leaked %d chunks", cs.LiveChunks())
+	}
+}
+
+// TestPinnedTrainingUnderConcurrentCommits is the HTAP core guarantee:
+// training over a pinned snapshot — in memory and streamed out of core —
+// is bitwise identical to training over a frozen copy of that epoch,
+// while a writer storms upserts and commits the whole time.
+func TestPinnedTrainingUnderConcurrentCommits(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	st := pkfkStore(t, rng, false)
+	if err := st.UpsertAttr(0, 0, randRow(rng, st.AttrCols(0))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := st.Pin()
+	frozenS, frozenRs := frozenCopy(snap)
+	y := labels(rng, st.Rows())
+
+	// Writer storm: continuous upserts + commits until told to stop.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wrng := rand.New(rand.NewSource(10))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st.UpsertEntity(wrng.Intn(st.EntityRows()), randRow(wrng, st.EntityCols()))
+			st.UpsertAttr(0, wrng.Intn(st.AttrRows(0)), randRow(wrng, st.AttrCols(0)))
+			st.Commit()
+		}
+	}()
+
+	// In-memory training over the pinned snapshot vs the frozen copy.
+	nm, err := snap.NormalizedMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozenNM, err := core.New(frozenS, st.IS(), st.Ks(), frozenRs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := ml.Options{Iters: 6, StepSize: 1e-3}
+	wSnap, err := ml.LogisticRegressionGD(nm, y, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wFrozen, err := ml.LogisticRegressionGD(frozenNM, y, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.MaxAbsDiff(wSnap, wFrozen) != 0 {
+		t.Fatal("in-memory training over pinned snapshot drifted from frozen copy under concurrent commits")
+	}
+
+	// Out-of-core: stream the pinned snapshot while commits continue.
+	cs := testChunkStore(t)
+	nt, err := snap.BuildChunked(cs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := chunk.LogRegFactorizedExec(chunk.Parallel(), nt, y, 4, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := chunk.FromDense(cs, frozenS.Dense(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fk, err := chunk.BuildIntVector(cs, st.Ks()[0].Assignments(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := chunk.NewStarTable(sm, []chunk.AttrTable{{FK: fk, R: frozenRs[0]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := chunk.LogRegFactorizedExec(chunk.Parallel(), ref, y, 4, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.MaxAbsDiff(got.W, want.W) != 0 {
+		t.Fatal("chunked training over pinned snapshot drifted from frozen copy under concurrent commits")
+	}
+
+	close(stop)
+	wg.Wait()
+	snap.Release()
+	if st.LiveEpochs() != 1 {
+		t.Fatalf("live epochs %d after release, want 1", st.LiveEpochs())
+	}
+	if err := nt.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if cs.LiveChunks() != 0 || cs.BytesOnDisk() != 0 {
+		t.Fatalf("chunk accounting not at baseline: %d chunks, %d bytes", cs.LiveChunks(), cs.BytesOnDisk())
+	}
+}

@@ -1,0 +1,149 @@
+package epoch
+
+import (
+	"sync"
+
+	"repro/internal/la"
+)
+
+// viewMat is one table of a pinned epoch: the frozen base matrix with
+// the epoch's overlay patched on top. Element access (At, ReadRow) is
+// served directly from base+overlay, so streaming a snapshot out of
+// core never materializes the table; the heavy la.Mat operations
+// delegate to a lazily materialized patched matrix, built at most once.
+// A viewMat is immutable and safe for concurrent use.
+type viewMat struct {
+	base    la.Mat
+	overlay map[int32][]float64
+
+	once sync.Once
+	mat  la.Mat // materialized base+overlay; == base when overlay is empty
+}
+
+var _ la.Mat = (*viewMat)(nil)
+
+// Rows reports the table's tuple count.
+func (v *viewMat) Rows() int { return v.base.Rows() }
+
+// Cols reports the table's feature width.
+func (v *viewMat) Cols() int { return v.base.Cols() }
+
+// At returns the element at (i, j), reading the overlay first.
+func (v *viewMat) At(i, j int) float64 {
+	if row, ok := v.overlay[int32(i)]; ok {
+		return row[j]
+	}
+	return v.base.At(i, j)
+}
+
+// ReadRow copies row i into dst (len(dst) == Cols()), overlay first.
+// It implements chunk.RowSource so snapshots stream straight into a
+// chunk store.
+func (v *viewMat) ReadRow(i int, dst []float64) {
+	if row, ok := v.overlay[int32(i)]; ok {
+		copy(dst, row)
+		return
+	}
+	readBaseRow(v.base, i, dst)
+}
+
+// materialize builds (once) the patched concrete matrix all heavy
+// operations run on. An empty overlay yields the base itself — the
+// common case for unchanged tables, where the view is free.
+func (v *viewMat) materialize() la.Mat {
+	v.once.Do(func() {
+		if len(v.overlay) == 0 {
+			v.mat = v.base
+			return
+		}
+		if c, ok := v.base.(*la.CSR); ok {
+			v.mat = patchCSR(c, v.overlay)
+			return
+		}
+		d := v.base.Dense().Clone()
+		for r, vals := range v.overlay {
+			copy(d.Row(int(r)), vals)
+		}
+		v.mat = d
+	})
+	return v.mat
+}
+
+// patchCSR rebuilds a CSR matrix with the overlay rows replaced,
+// preserving sparsity: patched rows store only their nonzeros.
+func patchCSR(c *la.CSR, overlay map[int32][]float64) *la.CSR {
+	rows, cols := c.Rows(), c.Cols()
+	indptr := make([]int, rows+1)
+	var indices []int32
+	var vals []float64
+	for i := 0; i < rows; i++ {
+		if row, ok := overlay[int32(i)]; ok {
+			for j, x := range row {
+				if x != 0 {
+					indices = append(indices, int32(j))
+					vals = append(vals, x)
+				}
+			}
+		} else {
+			idx, vs := c.RowNNZ(i)
+			indices = append(indices, idx...)
+			vals = append(vals, vs...)
+		}
+		indptr[i+1] = len(indices)
+	}
+	return la.NewCSR(rows, cols, indptr, indices, vals)
+}
+
+// NNZ counts nonzero elements of the patched table.
+func (v *viewMat) NNZ() int { return v.materialize().NNZ() }
+
+// Mul computes A·X.
+func (v *viewMat) Mul(x *la.Dense) *la.Dense { return v.materialize().Mul(x) }
+
+// TMul computes Aᵀ·X.
+func (v *viewMat) TMul(x *la.Dense) *la.Dense { return v.materialize().TMul(x) }
+
+// LeftMul computes X·A.
+func (v *viewMat) LeftMul(x *la.Dense) *la.Dense { return v.materialize().LeftMul(x) }
+
+// CrossProd computes AᵀA.
+func (v *viewMat) CrossProd() *la.Dense { return v.materialize().CrossProd() }
+
+// Gram computes AAᵀ.
+func (v *viewMat) Gram() *la.Dense { return v.materialize().Gram() }
+
+// RowSums sums each row.
+func (v *viewMat) RowSums() *la.Dense { return v.materialize().RowSums() }
+
+// ColSums sums each column.
+func (v *viewMat) ColSums() *la.Dense { return v.materialize().ColSums() }
+
+// Sum totals all elements.
+func (v *viewMat) Sum() float64 { return v.materialize().Sum() }
+
+// ScaleM returns v scaled by x.
+func (v *viewMat) ScaleM(x float64) la.Mat { return v.materialize().ScaleM(x) }
+
+// AddScalarM returns v with x added to every element.
+func (v *viewMat) AddScalarM(x float64) la.Mat { return v.materialize().AddScalarM(x) }
+
+// PowM returns v with every element raised to p.
+func (v *viewMat) PowM(p float64) la.Mat { return v.materialize().PowM(p) }
+
+// ApplyM returns v with f applied elementwise.
+func (v *viewMat) ApplyM(f func(float64) float64) la.Mat { return v.materialize().ApplyM(f) }
+
+// ScaleRows returns v with row i scaled by s[i].
+func (v *viewMat) ScaleRows(s []float64) la.Mat { return v.materialize().ScaleRows(s) }
+
+// SliceRows returns rows [i0, i1).
+func (v *viewMat) SliceRows(i0, i1 int) la.Mat { return v.materialize().SliceRows(i0, i1) }
+
+// SliceCols returns columns [j0, j1).
+func (v *viewMat) SliceCols(j0, j1 int) la.Mat { return v.materialize().SliceCols(j0, j1) }
+
+// CloneMat returns an independent copy of the patched table.
+func (v *viewMat) CloneMat() la.Mat { return v.materialize().CloneMat() }
+
+// Dense materializes the patched table densely.
+func (v *viewMat) Dense() *la.Dense { return v.materialize().Dense() }

@@ -121,6 +121,10 @@ type Config struct {
 	// streaming reductions skip chunks proven all-zero at spill time.
 	// Composition order is fixed: compression inside, zone maps outside.
 	ZoneMap bool
+	// MutateRows sets how many rows each commit of the serve-mutate
+	// experiment upserts between scoring windows (0 = a scale-derived
+	// default).
+	MutateRows int
 }
 
 // DefaultConfig returns Scale=1, Seed=1.

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/epoch"
+	"repro/internal/la"
+	"repro/internal/serve"
+)
+
+// serveMutate measures the HTAP serving path: an EpochScorer over a
+// versioned store, scored at steady state, then under a commit storm —
+// per-commit publish latency (which includes the incremental
+// partial-product patch), epochs/sec, and the scoring throughput
+// retained while mutating. The run ends with the differential check the
+// epoch tests pin: the patched scorer must match a from-scratch rebuild
+// at the final epoch within 1e-12, or the experiment errors (so a CI
+// smoke run fails on divergence, like the plan smoke does).
+func serveMutate(cfg Config) (Result, error) {
+	nR := cfg.scaled(500)
+	nS := 20 * nR
+	dS, dR := 10, 40
+	mutateRows := cfg.MutateRows
+	if mutateRows <= 0 {
+		mutateRows = nR / 10
+		if mutateRows < 1 {
+			mutateRows = 1
+		}
+	}
+	// The storm runs at least minCommits commits AND minStorm wall clock,
+	// so the concurrent scorer gets a real measurement window even when
+	// commits are microseconds.
+	const minCommits = 40
+	const minStorm = 300 * time.Millisecond
+	const batch = 256
+
+	nm, err := datagen.PKFK(datagen.PKFKSpec{NS: nS, DS: dS, NR: nR, DR: dR, Seed: cfg.Seed})
+	if err != nil {
+		return Result{}, err
+	}
+	st, err := epoch.NewStore(nm)
+	if err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := la.NewDense(nm.Cols(), 1)
+	for i := 0; i < nm.Cols(); i++ {
+		w.Set(i, 0, rng.NormFloat64())
+	}
+	es, err := serve.NewEpochScorer(st, w, serve.Logistic)
+	if err != nil {
+		return Result{}, err
+	}
+
+	ids := make([]int, batch)
+	scoreRound := func(r *rand.Rand) error {
+		for i := range ids {
+			ids[i] = r.Intn(nS)
+		}
+		_, err := es.ScoreBatch(ids)
+		return err
+	}
+
+	// Steady state: scoring throughput with no writer.
+	steadyRounds := 200
+	srng := rand.New(rand.NewSource(cfg.Seed + 1))
+	start := time.Now()
+	for i := 0; i < steadyRounds; i++ {
+		if err := scoreRound(srng); err != nil {
+			return Result{}, err
+		}
+	}
+	steady := time.Since(start)
+	steadyRate := float64(steadyRounds*batch) / steady.Seconds()
+
+	// Commit storm: mutateRows attribute-row upserts per commit, with a
+	// concurrent scorer hammering batches the whole time.
+	stop := make(chan struct{})
+	var scored atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		crng := rand.New(rand.NewSource(cfg.Seed + 2))
+		lids := make([]int, batch)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := range lids {
+				lids[i] = crng.Intn(nS)
+			}
+			if _, err := es.ScoreBatch(lids); err != nil {
+				return
+			}
+			scored.Add(int64(batch))
+		}
+	}()
+
+	wrng := rand.New(rand.NewSource(cfg.Seed + 3))
+	row := make([]float64, dR)
+	var maxCommit time.Duration
+	commits := 0
+	mutStart := time.Now()
+	for commits < minCommits || time.Since(mutStart) < minStorm {
+		for k := 0; k < mutateRows; k++ {
+			for j := range row {
+				row[j] = wrng.NormFloat64()
+			}
+			if err := st.UpsertAttr(0, wrng.Intn(nR), row); err != nil {
+				return Result{}, err
+			}
+		}
+		t0 := time.Now()
+		if _, err := st.Commit(); err != nil {
+			return Result{}, err
+		}
+		if d := time.Since(t0); d > maxCommit {
+			maxCommit = d
+		}
+		commits++
+	}
+	mutTotal := time.Since(mutStart)
+	close(stop)
+	wg.Wait()
+	stormRate := float64(scored.Load()) / mutTotal.Seconds()
+
+	// Differential gate: patched partials vs a scorer rebuilt from
+	// scratch at the final epoch.
+	snap := st.Pin()
+	curNM, err := snap.NormalizedMatrix()
+	if err != nil {
+		return Result{}, err
+	}
+	fresh, err := serve.NewScorer(curNM, w, serve.Logistic)
+	if err != nil {
+		return Result{}, err
+	}
+	got, want := es.ScoreAll(), fresh.ScoreAll()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			return Result{}, fmt.Errorf("serve-mutate: patched scorer diverged from rebuild at row %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+	snap.Release()
+	if live := st.LiveEpochs(); live != 1 {
+		return Result{}, fmt.Errorf("serve-mutate: %d live epochs after release, want 1", live)
+	}
+
+	ps := es.PatchStats()
+	epochsPerSec := float64(commits) / mutTotal.Seconds()
+	meanPatch := time.Duration(0)
+	if ps.Commits > 0 {
+		meanPatch = ps.TotalPatch / time.Duration(ps.Commits)
+	}
+	res := Result{
+		ID:     "serve-mutate",
+		Title:  "HTAP serving: epoch commits + incremental partial patching under load",
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"epoch version", fmt.Sprintf("%d", es.Version())},
+			{"commits", fmt.Sprintf("%d", commits)},
+			{"rows patched/commit", fmt.Sprintf("%d", mutateRows)},
+			{"epochs/sec", fmt.Sprintf("%.1f", epochsPerSec)},
+			{"mean patch (µs)", fmt.Sprintf("%.1f", float64(meanPatch.Nanoseconds())/1e3)},
+			{"max commit (µs)", fmt.Sprintf("%.1f", float64(maxCommit.Nanoseconds())/1e3)},
+			{"steady score rows/sec", fmt.Sprintf("%.0f", steadyRate)},
+			{"storm score rows/sec", fmt.Sprintf("%.0f", stormRate)},
+			{"retained throughput", fmt.Sprintf("%.2f", stormRate/steadyRate)},
+		},
+		Notes: fmt.Sprintf("nS=%d nR=%d dS=%d dR=%d commits=%d batch=%d; patched ≡ rebuilt ≤1e-12 asserted; live epochs back to baseline",
+			nS, nR, dS, dR, commits, batch),
+	}
+	return res, nil
+}
+
+func init() {
+	register("serve-mutate", serveMutate)
+}

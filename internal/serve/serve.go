@@ -42,6 +42,7 @@ const (
 	Logistic
 )
 
+// String names the link function for logs and error messages.
 func (h Head) String() string {
 	switch h {
 	case Linear:
@@ -62,9 +63,15 @@ var (
 )
 
 // Scorer answers prediction requests over a normalized feature store using
-// cached partial products. It is safe for concurrent use; UpdateWeights may
-// race with in-flight scores and each request observes exactly one weight
-// version.
+// cached partial products. It is safe for concurrent use.
+//
+// Weight-version semantics: every request — a single row, an explicit
+// batch, or a coalesced Batcher batch — snapshots the partial cache
+// exactly once, before its first row is scored. A batch in flight when
+// UpdateWeights lands therefore observes exactly one weight version for
+// all of its rows — either entirely the old model or entirely the new
+// one, never a mix. The same holds per request under a storm of updates:
+// each request sees some single version that was current at its start.
 type Scorer struct {
 	nm   *core.NormalizedMatrix
 	head Head
@@ -144,6 +151,9 @@ func columnData(m *la.Dense) []float64 {
 // UpdateWeights atomically replaces the model, recomputing the cached
 // partials. The new partials are computed outside the lock (the feature
 // store is immutable), so concurrent scoring is stalled only for the swap.
+// Requests in flight during the swap finish on whichever weight version
+// they snapshotted at start — see the Scorer type docs; no request ever
+// mixes versions.
 func (s *Scorer) UpdateWeights(w *la.Dense) error {
 	wCol, err := asWeightColumn(w, s.nm.Cols())
 	if err != nil {
@@ -184,8 +194,10 @@ func (s *Scorer) ScoreRow(id int) (float64, error) {
 }
 
 // ScoreBatch serves predictions for a batch of logical row ids, sharing one
-// partial-cache snapshot and fanning the gather across cores for large
-// batches.
+// partial-cache snapshot — taken once, before the first row — and fanning
+// the gather across cores for large batches. All rows of the batch are
+// scored under that one snapshot, so a concurrent UpdateWeights never
+// splits a batch across weight versions.
 func (s *Scorer) ScoreBatch(ids []int) ([]float64, error) {
 	n := s.nm.Rows()
 	for _, id := range ids {
@@ -224,7 +236,15 @@ func (s *Scorer) gather(ids []int, out []float64, sw []float64, parts [][]float6
 	for t, k := range s.nm.Ks() {
 		kAssign[t] = k.Assignments()
 	}
-	logistic := s.head == Logistic
+	gatherInto(ids, out, isAssign, kAssign, sw, parts, s.head == Logistic)
+}
+
+// gatherInto runs the shared gather kernel over one partial-cache
+// snapshot: per row, the entity partial (routed through isAssign when
+// non-nil) plus one attribute partial per table, fanned across cores for
+// large batches. Both Scorer and EpochScorer score through it, so the
+// two paths stay bit-identical by construction.
+func gatherInto(ids []int, out []float64, isAssign []int32, kAssign [][]int32, sw []float64, parts [][]float64, logistic bool) {
 	// Rough per-row cost: one add per table plus the head evaluation.
 	work := len(out) * (len(parts) + 8)
 	la.ParallelRows(len(out), work, func(lo, hi int) {

@@ -3,6 +3,7 @@ package repro
 import (
 	"repro/internal/chunk"
 	"repro/internal/core"
+	"repro/internal/epoch"
 	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/serve"
@@ -263,4 +264,47 @@ const (
 var (
 	NewScorer  = serve.NewScorer
 	NewBatcher = serve.NewBatcher
+)
+
+// Versioning layer (internal/epoch + the epoch-aware scorer in
+// internal/serve): copy-on-write epochs over the base tables of a
+// normalized feature store — staged row upserts published atomically by
+// Commit, scoring served at a stable epoch with incrementally patched
+// partial products, and training reading pinned consistent snapshots
+// while writes continue.
+
+// EpochStore is a versioned normalized feature store: frozen join
+// structure, epoch-versioned table contents.
+type EpochStore = epoch.Store
+
+// EpochVersion numbers published epochs, starting at 1.
+type EpochVersion = epoch.Version
+
+// EpochCommit describes one published epoch's per-table row deltas.
+type EpochCommit = epoch.Commit
+
+// EpochTableDelta lists one table's changed rows with old and new values.
+type EpochTableDelta = epoch.TableDelta
+
+// EpochSnapshot is a pinned, immutable view of one epoch, streamable
+// into chunked storage or assembled into a NormalizedMatrix.
+type EpochSnapshot = epoch.Snapshot
+
+// EpochScorer scores over an EpochStore, patching its cached partial
+// products incrementally per commit.
+type EpochScorer = serve.EpochScorer
+
+// EpochPatchStats counts an EpochScorer's incremental maintenance work.
+type EpochPatchStats = serve.PatchStats
+
+// ChunkRowSource is the row-streaming seam through which epoch snapshots
+// (and any other lazily-patched view) spill into a chunk store.
+type ChunkRowSource = chunk.RowSource
+
+// Versioning-layer entry points.
+var (
+	NewEpochStore      = epoch.NewStore
+	NewEpochScorer     = serve.NewEpochScorer
+	ChunkFromRowSource = chunk.FromRowSource
+	NewNormalized      = core.New
 )
