@@ -662,6 +662,48 @@ func BenchmarkServeBatcher(b *testing.B) {
 	})
 }
 
+// BenchmarkRouterScore measures the routed steady-state batch path for
+// both fleet placements and asserts it performs zero heap allocations
+// per call — the allocation audit CI's bench smoke gates on. The batch is
+// small enough that the gather kernel stays on its serial in-line path,
+// matching the per-request regime the Batcher feeds the Router.
+func BenchmarkRouterScore(b *testing.B) {
+	nm, w, _ := serveSetup(b, 20, 2)
+	ids := make([]int, 64)
+	for i := range ids {
+		ids[i] = (i * 9973) % nm.Rows() // deterministic scatter across shards
+	}
+	out := make([]float64, len(ids))
+	for _, pl := range []serve.Placement{serve.Replicated, serve.HashSharded} {
+		rt, err := serve.NewScorerFleet(nm, w, serve.Logistic, 4, pl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(pl.String(), func(b *testing.B) {
+			for i := 0; i < 4; i++ { // warm the router's scratch pools
+				if err := rt.ScoreBatchInto(ids, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rt.ScoreBatchInto(ids, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if a := testing.AllocsPerRun(50, func() {
+				if err := rt.ScoreBatchInto(ids, out); err != nil {
+					b.Error(err)
+				}
+			}); a != 0 {
+				b.Fatalf("steady-state routed ScoreBatchInto: %v allocs/op, want 0", a)
+			}
+		})
+	}
+}
+
 // --- Table 12 (appendix): data preparation ---
 
 func BenchmarkTable12DataPrep(b *testing.B) {

@@ -69,6 +69,18 @@
 // at the final epoch and fails otherwise, so CI's epoch smoke step gates
 // on the differential, like the plan smoke does.
 //
+// -exp serve-slo runs the serving-fleet latency harness: single,
+// replicated, and hash-sharded fleets (width -replicas) behind the
+// Batcher's bounded admission queue, driven closed-loop (-slo-conc
+// workers, each window -slo-dur long) and open-loop (fixed arrival rate
+// -slo-rate, default derived from the measured closed-loop throughput),
+// reporting p50/p99/p999 latency, throughput, and rejection counts; an
+// overload segment with a deliberately slow backend asserts excess
+// requests fail fast with ErrOverloaded, and an epoch-fleet commit storm
+// re-checks the routed ≡ single differential (≤1e-12) at the final
+// epoch. With -json the percentiles and rejections land in the
+// p50_us/p99_us/p999_us/rejected fields CI archives as bench-serve.json.
+//
 // -json replaces the text tables with one JSON array of results on stdout
 // (the schema is experiments.Result: id/title/header/rows/notes, plus
 // decisions under -plan), the machine-readable record CI archives per run
@@ -112,6 +124,10 @@ func run() error {
 		codec    = flag.String("codec", "", "compress spill chunks with this chunk codec (see -list-codecs); empty = raw chunks")
 		zonemap  = flag.Bool("zonemap", false, "record per-chunk zone-map sidecars at spill time so reductions skip proven all-zero chunks")
 		mutate   = flag.Int("mutate", 0, "rows upserted per epoch commit in the serve-mutate experiment (0 = scale-derived default)")
+		replicas = flag.Int("replicas", 0, "serving-fleet width for the serve-slo experiment (0 = 4)")
+		sloRate  = flag.Float64("slo-rate", 0, "open-loop arrival rate in requests/sec for serve-slo (0 = derived from measured closed-loop throughput)")
+		sloConc  = flag.Int("slo-conc", 0, "closed-loop concurrency for serve-slo (0 = 8)")
+		sloDur   = flag.Duration("slo-dur", 0, "measurement window per serve-slo segment (0 = 250ms)")
 		listCdc  = flag.Bool("list-codecs", false, "list registered chunk codec names and exit")
 		asJSON   = flag.Bool("json", false, "emit results as one JSON array on stdout instead of text tables")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
@@ -135,7 +151,7 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "morpheus-bench: -exp is required (try -list or -chunked)")
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, TmpDir: *tmpdir, Workers: *workers, MemBudgetMB: *mem, Pushdown: *pushdown, Plan: *planOn, Codec: *codec, ZoneMap: *zonemap, MutateRows: *mutate}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, TmpDir: *tmpdir, Workers: *workers, MemBudgetMB: *mem, Pushdown: *pushdown, Plan: *planOn, Codec: *codec, ZoneMap: *zonemap, MutateRows: *mutate, Replicas: *replicas, SLORate: *sloRate, SLOConc: *sloConc, SLODur: *sloDur}
 	if *shards != "" {
 		for _, d := range strings.Split(*shards, ",") {
 			if d = strings.TrimSpace(d); d != "" {

@@ -7,6 +7,8 @@
 //
 //	morpheus-serve -ns 20000 -ds 20 -nr 1000 -dr 80 -model logreg <ids.txt
 //	morpheus-serve -mutable            # versioned store + online updates
+//	morpheus-serve -replicas 4         # hash-sharded scoring fleet
+//	morpheus-serve -replicas 4 -placement replicated
 //
 // Each input line is one request: a row id, or a comma-separated list of
 // row ids (CSV) served as one batch. The special line "all" scores every
@@ -28,6 +30,20 @@
 // new) before returning, so the next score already reflects the new
 // epoch. Scoring requests racing a commit observe exactly one epoch per
 // batch — never a mix.
+//
+// -replicas N serves through an N-replica fleet behind the serve.Router:
+// -placement sharded (default) hash-partitions row ids so the entity-side
+// partial cache exists once across the fleet; -placement replicated gives
+// every replica the full cache and rotates batches round-robin. With
+// -mutable the fleet is replicated EpochScorers sharing one store — a
+// commit publishes to every replica before returning. -queue bounds the
+// admission queue; when it is full, requests are rejected with
+// ErrOverloaded instead of queueing without bound.
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: it stops admitting
+// new requests, answers every request already accepted, flushes output,
+// reports the admission stats, and exits 0 — no request is dropped
+// mid-batch.
 package main
 
 import (
@@ -35,8 +51,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -70,6 +89,9 @@ func main() {
 		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		compare = flag.Bool("compare", false, "report cached vs naive scoring throughput before serving")
 		mutable = flag.Bool("mutable", false, "serve from a versioned epoch store accepting set/commit/epoch requests")
+		fleet   = flag.Int("replicas", 1, "serving-fleet width (1 = single scorer)")
+		place   = flag.String("placement", "sharded", "fleet cache placement: sharded | replicated (-mutable fleets are always replicated)")
+		queue   = flag.Int("queue", 0, "admission queue depth; full queue rejects with ErrOverloaded (0 = workers x batch)")
 	)
 	flag.Parse()
 
@@ -101,6 +123,19 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "trained %s factorized in %v\n", *model, time.Since(start).Round(time.Millisecond))
 
+	var placement serve.Placement
+	switch *place {
+	case "sharded":
+		placement = serve.HashSharded
+	case "replicated":
+		placement = serve.Replicated
+	default:
+		fail("unknown -placement %q (want sharded or replicated)", *place)
+	}
+	if *fleet < 1 {
+		fail("-replicas must be >= 1, got %d", *fleet)
+	}
+
 	var sc scorer
 	var st *epoch.Store
 	if *mutable {
@@ -108,27 +143,69 @@ func main() {
 		if err != nil {
 			fail("building epoch store: %v", err)
 		}
-		es, err := serve.NewEpochScorer(st, w, head)
-		if err != nil {
-			fail("building scorer: %v", err)
+		if *fleet > 1 {
+			rt, err := serve.NewEpochFleet(st, w, head, *fleet)
+			if err != nil {
+				fail("building epoch fleet: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "mutable fleet: %d replicated replicas at epoch %d (set/commit/epoch requests enabled)\n",
+				rt.NumReplicas(), st.Version())
+			sc = rt
+		} else {
+			es, err := serve.NewEpochScorer(st, w, head)
+			if err != nil {
+				fail("building scorer: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "mutable store at epoch %d (set/commit/epoch requests enabled)\n", es.Version())
+			sc = es
 		}
-		fmt.Fprintf(os.Stderr, "mutable store at epoch %d (set/commit/epoch requests enabled)\n", es.Version())
-		sc = es
 	} else {
-		s, err := serve.NewScorer(nm, w, head)
-		if err != nil {
-			fail("building scorer: %v", err)
-		}
 		if *compare {
+			s, err := serve.NewScorer(nm, w, head)
+			if err != nil {
+				fail("building scorer: %v", err)
+			}
 			reportSpeedup(s, nm.Rows(), head, w)
 		}
-		sc = s
+		if *fleet > 1 {
+			rt, err := serve.NewScorerFleet(nm, w, head, *fleet, placement)
+			if err != nil {
+				fail("building fleet: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "serving fleet: %d %s replicas\n", rt.NumReplicas(), rt.Placement())
+			sc = rt
+		} else {
+			s, err := serve.NewScorer(nm, w, head)
+			if err != nil {
+				fail("building scorer: %v", err)
+			}
+			sc = s
+		}
 	}
-	b := serve.NewBatcher(sc, serve.BatchOptions{MaxBatch: *batch, MaxDelay: *delay, Workers: *workers})
+	b := serve.NewBatcher(sc, serve.BatchOptions{MaxBatch: *batch, MaxDelay: *delay, Workers: *workers, QueueDepth: *queue})
 	defer b.Close()
 
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
+
+	// Graceful shutdown: stop admitting, answer everything already
+	// accepted, flush, report, exit — instead of dying mid-batch. outMu
+	// orders the final flush against the request loop's writes.
+	var outMu sync.Mutex
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "morpheus-serve: %v — draining in-flight batches\n", s)
+		b.Close()
+		outMu.Lock()
+		out.Flush()
+		bs := b.Stats()
+		fmt.Fprintf(os.Stderr, "morpheus-serve: drained; accepted=%d rejected=%d batches=%d peak_queue=%d\n",
+			bs.Accepted, bs.Rejected, bs.Batches, bs.PeakQueue)
+		os.Exit(0)
+	}()
+
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	for in.Scan() {
@@ -136,14 +213,17 @@ func main() {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
+		outMu.Lock()
 		if st != nil && handleMutation(line, st, out) {
 			out.Flush()
+			outMu.Unlock()
 			continue
 		}
 		handleRequest(line, sc, b, out)
 		// Flush per request so interactive callers see their response
 		// immediately rather than at buffer/EOF boundaries.
 		out.Flush()
+		outMu.Unlock()
 	}
 	if err := in.Err(); err != nil {
 		fail("reading stdin: %v", err)

@@ -41,6 +41,14 @@ type Result struct {
 	ChunksSkipped int    `json:"chunks_skipped,omitempty"`
 	BytesSkipped  int64  `json:"bytes_skipped,omitempty"`
 	Codec         string `json:"codec,omitempty"`
+	// Serving-latency summary, filled by the serve-slo experiment from its
+	// primary closed-loop run: request latency percentiles in microseconds
+	// and the number of requests the admission queue rejected across the
+	// overload segments. Zero/absent for experiments without a latency SLO.
+	P50us    float64 `json:"p50_us,omitempty"`
+	P99us    float64 `json:"p99_us,omitempty"`
+	P999us   float64 `json:"p999_us,omitempty"`
+	Rejected uint64  `json:"rejected,omitempty"`
 }
 
 // Format renders the result as an aligned text table.
@@ -125,6 +133,18 @@ type Config struct {
 	// experiment upserts between scoring windows (0 = a scale-derived
 	// default).
 	MutateRows int
+	// Replicas sets the serving-fleet width for the serve-slo experiment
+	// (0 = 4).
+	Replicas int
+	// SLORate targets an open-loop arrival rate in requests/sec for the
+	// serve-slo experiment (0 = derived from the measured closed-loop
+	// throughput, capped to keep the generator itself cheap).
+	SLORate float64
+	// SLOConc is the closed-loop concurrency of the serve-slo load
+	// generator (0 = 8).
+	SLOConc int
+	// SLODur is the measurement window per serve-slo segment (0 = 250ms).
+	SLODur time.Duration
 }
 
 // DefaultConfig returns Scale=1, Seed=1.

@@ -68,3 +68,10 @@ func parallelForChunked(n int, chunks int, body func(c, lo, hi int)) {
 // packages (core's gather kernels); body(lo, hi) must be safe to run on
 // disjoint row ranges concurrently.
 func ParallelRows(n int, work int, body func(lo, hi int)) { parallelFor(n, work, body) }
+
+// ParallelChunks exposes the fan-out decision: how many chunks
+// ParallelRows would split [0,n) into for the given work estimate.
+// Allocation-sensitive callers use it to run the serial case without
+// materializing a closure — a func literal passed to ParallelRows escapes
+// to the heap even when the loop runs inline.
+func ParallelChunks(n int, work int) int { return parallelChunks(n, work) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,6 +19,11 @@ type BatchOptions struct {
 	// Workers bounds how many batches execute concurrently
 	// (default GOMAXPROCS).
 	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a batch
+	// slot (default Workers × MaxBatch). When the queue is full, Score
+	// fails fast with ErrOverloaded instead of blocking — the admission
+	// edge of the serving stack.
+	QueueDepth int
 }
 
 func (o BatchOptions) withDefaults() BatchOptions {
@@ -30,6 +36,9 @@ func (o BatchOptions) withDefaults() BatchOptions {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = o.Workers * o.MaxBatch
+	}
 	return o
 }
 
@@ -40,20 +49,62 @@ type BatchScorer interface {
 	ScoreBatch(ids []int) ([]float64, error)
 }
 
+// BatcherStats counts the admission and execution work a Batcher has
+// performed. Snapshot via Batcher.Stats.
+type BatcherStats struct {
+	// Accepted is the number of requests admitted into the queue.
+	Accepted uint64
+	// Rejected is the number of requests refused with ErrOverloaded
+	// because the queue was full.
+	Rejected uint64
+	// Batches is the number of coalesced gather passes executed.
+	Batches uint64
+	// Scored is the number of admitted requests answered (equals Accepted
+	// once the batcher is idle or closed).
+	Scored uint64
+	// PeakQueue is the deepest the admission queue has been.
+	PeakQueue int
+}
+
 // Batcher coalesces concurrent single-row scoring calls into shared batch
-// gather passes. Callers block in Score until their batch executes; a
-// dispatcher goroutine groups arrivals (up to MaxBatch, waiting at most
-// MaxDelay) and hands each group to a bounded worker pool, so heavy
-// concurrent traffic amortizes into a few wide ScoreBatch calls instead of
-// many single-row lock acquisitions.
+// gather passes behind a bounded admission queue. Callers block in Score
+// until their batch executes; a dispatcher goroutine groups arrivals (up
+// to MaxBatch, waiting at most MaxDelay) and feeds a fixed pool of Workers
+// batch executors, so heavy concurrent traffic amortizes into a few wide
+// gather passes instead of many single-row lock acquisitions.
+//
+// Overload semantics: at most QueueDepth requests wait for execution; a
+// request arriving at a full queue fails fast with ErrOverloaded instead
+// of queuing unboundedly, so latency under saturation stays bounded and
+// the caller — not the queue — decides whether to retry. After Close,
+// Score fails fast with ErrBatcherClosed; requests admitted before Close
+// are always answered. When the backend also implements IntoScorer, the
+// steady-state request path is allocation-free: response channels, batch
+// buffers, and score buffers are pooled.
 type Batcher struct {
 	sc   BatchScorer
+	into IntoScorer // non-nil when sc supports allocation-free scoring
 	opt  BatchOptions
-	reqs chan batchReq // unbuffered: a send succeeds only while the dispatcher lives
+
+	reqs chan batchReq // buffered by QueueDepth: the admission queue
+	jobs chan *batchJob
 	quit chan struct{}
-	sem  chan struct{}
+
+	// admit orders Score's closed-check + enqueue against Close: Score
+	// holds it shared around the try-send, Close sets closed exclusively
+	// first, so once Close holds the lock every admitted request is
+	// already in the queue and the final drain answers all of them.
+	admit  sync.RWMutex
+	closed bool
+
+	resps sync.Pool // chan batchResp (cap 1), reused across Score calls
+	batch sync.Pool // *batchJob, reused across gather passes
+
 	wg   sync.WaitGroup
 	once sync.Once
+
+	accepted, rejected, batches, scored atomic.Uint64
+	peakQueue                           atomic.Int64
 }
 
 type batchReq struct {
@@ -66,136 +117,234 @@ type batchResp struct {
 	err   error
 }
 
+// batchJob is one coalesced gather pass in flight between the dispatcher
+// and a worker; pooling it (with its id and score buffers) keeps the
+// steady-state path off the allocator.
+type batchJob struct {
+	reqs []batchReq
+	ids  []int
+	out  []float64
+}
+
 // NewBatcher starts a micro-batching frontend over sc.
 func NewBatcher(sc BatchScorer, opt BatchOptions) *Batcher {
 	opt = opt.withDefaults()
 	b := &Batcher{
 		sc:   sc,
 		opt:  opt,
-		reqs: make(chan batchReq),
+		reqs: make(chan batchReq, opt.QueueDepth),
+		jobs: make(chan *batchJob),
 		quit: make(chan struct{}),
-		sem:  make(chan struct{}, opt.Workers),
 	}
-	b.wg.Add(1)
+	b.into, _ = sc.(IntoScorer)
+	b.resps.New = func() any { return make(chan batchResp, 1) }
+	b.batch.New = func() any {
+		return &batchJob{
+			reqs: make([]batchReq, 0, opt.MaxBatch),
+			ids:  make([]int, 0, opt.MaxBatch),
+			out:  make([]float64, 0, opt.MaxBatch),
+		}
+	}
+	b.wg.Add(1 + opt.Workers)
 	go b.dispatch()
+	for i := 0; i < opt.Workers; i++ {
+		go b.worker()
+	}
 	return b
 }
 
 // Score serves one prediction, transparently sharing a gather pass with
-// concurrent callers. It blocks until the result is ready or the batcher is
-// closed.
+// concurrent callers. It blocks until the result is ready — bounded by
+// the queue depth: when the admission queue is full it fails immediately
+// with ErrOverloaded, and after Close it fails immediately with
+// ErrBatcherClosed.
 func (b *Batcher) Score(id int) (float64, error) {
 	if id < 0 || id >= b.sc.Rows() {
 		return 0, ErrRowRange
 	}
-	out := make(chan batchResp, 1)
+	out := b.resps.Get().(chan batchResp)
+
+	b.admit.RLock()
+	if b.closed {
+		b.admit.RUnlock()
+		b.resps.Put(out)
+		return 0, ErrBatcherClosed
+	}
 	select {
 	case b.reqs <- batchReq{id: id, out: out}:
-	case <-b.quit:
-		return 0, ErrClosed
+	default:
+		b.admit.RUnlock()
+		b.rejected.Add(1)
+		b.resps.Put(out)
+		return 0, ErrOverloaded
 	}
+	b.accepted.Add(1)
+	if d := int64(len(b.reqs)); d > b.peakQueue.Load() {
+		for {
+			cur := b.peakQueue.Load()
+			if d <= cur || b.peakQueue.CompareAndSwap(cur, d) {
+				break
+			}
+		}
+	}
+	b.admit.RUnlock()
+
 	r := <-out
+	b.resps.Put(out)
 	return r.score, r.err
 }
 
-// Close stops the dispatcher and waits for in-flight batches to finish.
-// Requests accepted before Close are still answered; later Score calls
-// return ErrClosed.
+// Close stops admitting, answers every already-admitted request, waits
+// for in-flight batches to finish, and releases the worker pool. Later
+// Score calls return ErrBatcherClosed. Close is idempotent.
 func (b *Batcher) Close() {
-	b.once.Do(func() { close(b.quit) })
+	b.once.Do(func() {
+		b.admit.Lock()
+		b.closed = true
+		b.admit.Unlock()
+		close(b.quit)
+	})
 	b.wg.Wait()
 }
 
+// Stats returns a snapshot of the admission and execution counters.
+func (b *Batcher) Stats() BatcherStats {
+	return BatcherStats{
+		Accepted:  b.accepted.Load(),
+		Rejected:  b.rejected.Load(),
+		Batches:   b.batches.Load(),
+		Scored:    b.scored.Load(),
+		PeakQueue: int(b.peakQueue.Load()),
+	}
+}
+
+// QueueDepth reports the configured admission-queue bound.
+func (b *Batcher) QueueDepth() int { return b.opt.QueueDepth }
+
+// dispatch is the single goroutine that turns the admission queue into
+// coalesced jobs. On shutdown it drains every request admitted before
+// Close (the admission lock guarantees they are all in the queue by
+// then), so no accepted caller is left waiting.
 func (b *Batcher) dispatch() {
 	defer b.wg.Done()
+	defer close(b.jobs)
 	for {
 		select {
 		case <-b.quit:
+			b.finalDrain()
 			return
 		case first := <-b.reqs:
-			batch := b.collect(first)
-			b.run(batch)
+			b.jobs <- b.collect(first)
 		}
 	}
 }
 
-// collect grows a batch from the first request. Senders blocked on the
-// unbuffered request channel are drained greedily — under load, coalescing
-// emerges from backpressure with no added latency. Only a lone request
+// finalDrain answers the requests still queued at Close time.
+func (b *Batcher) finalDrain() {
+	for {
+		select {
+		case first := <-b.reqs:
+			b.jobs <- b.collect(first)
+		default:
+			return
+		}
+	}
+}
+
+// collect grows a job from the first request. Requests already waiting in
+// the admission queue are drained greedily — under load, coalescing
+// emerges from queue pressure with no added latency. Only a lone request
 // waits (up to MaxDelay) for company before going out solo.
-func (b *Batcher) collect(first batchReq) []batchReq {
-	batch := make([]batchReq, 1, b.opt.MaxBatch)
-	batch[0] = first
-	batch = b.drain(batch)
-	if len(batch) > 1 || len(batch) == b.opt.MaxBatch {
-		return batch
+func (b *Batcher) collect(first batchReq) *batchJob {
+	job := b.batch.Get().(*batchJob)
+	job.reqs = append(job.reqs[:0], first)
+	b.drain(job)
+	if len(job.reqs) > 1 || len(job.reqs) == b.opt.MaxBatch {
+		return job
 	}
 	timer := time.NewTimer(b.opt.MaxDelay)
 	defer timer.Stop()
 	select {
 	case r := <-b.reqs:
-		batch = append(batch, r)
-		return b.drain(batch)
+		job.reqs = append(job.reqs, r)
+		b.drain(job)
 	case <-timer.C:
-		return batch
 	case <-b.quit:
-		return batch
 	}
+	return job
 }
 
-// drain performs non-blocking receives until the channel is momentarily
-// empty or the batch is full.
-func (b *Batcher) drain(batch []batchReq) []batchReq {
-	for len(batch) < b.opt.MaxBatch {
+// drain performs non-blocking receives until the queue is momentarily
+// empty or the job is full.
+func (b *Batcher) drain(job *batchJob) {
+	for len(job.reqs) < b.opt.MaxBatch {
 		select {
 		case r := <-b.reqs:
-			batch = append(batch, r)
+			job.reqs = append(job.reqs, r)
 		default:
-			return batch
+			return
 		}
 	}
-	return batch
 }
 
-// scoreBatch calls the backend, converting a panic into an error: without
-// the recover, a panicking BatchScorer would escape the worker goroutine —
-// skipping the response sends, so every coalesced caller in the batch
-// blocks forever while the panic takes down the process. With it, all
-// callers get the error, the semaphore slot is released, and the batcher
-// keeps serving.
-func (b *Batcher) scoreBatch(ids []int) (scores []float64, err error) {
+// worker executes coalesced jobs until the dispatcher closes the job
+// stream at shutdown.
+func (b *Batcher) worker() {
+	defer b.wg.Done()
+	for job := range b.jobs {
+		b.runJob(job)
+	}
+}
+
+// runJob executes one gather pass and answers every caller in the job.
+// Each admitted request gets exactly one response — on success, backend
+// error, or backend panic — which is what lets Score reuse pooled
+// response channels safely.
+func (b *Batcher) runJob(job *batchJob) {
+	n := len(job.reqs)
+	job.ids = job.ids[:0]
+	for _, r := range job.reqs {
+		job.ids = append(job.ids, r.id)
+	}
+	scores, err := b.scoreBatch(job)
+	if err == nil && len(scores) != n {
+		err = fmt.Errorf("serve: ScoreBatch returned %d scores for %d ids", len(scores), n)
+	}
+	for i, r := range job.reqs {
+		if err != nil {
+			r.out <- batchResp{err: err}
+		} else {
+			r.out <- batchResp{score: scores[i]}
+		}
+	}
+	b.batches.Add(1)
+	b.scored.Add(uint64(n))
+	job.reqs = job.reqs[:0]
+	b.batch.Put(job)
+}
+
+// scoreBatch calls the backend — through the allocation-free IntoScorer
+// path into the job's pooled score buffer when available — converting a
+// panic into an error: without the recover, a panicking backend would
+// escape the worker goroutine, skipping the response sends so every
+// coalesced caller in the batch blocks forever while the panic takes down
+// the process. With it, all callers get the error and the batcher keeps
+// serving.
+func (b *Batcher) scoreBatch(job *batchJob) (scores []float64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			scores, err = nil, fmt.Errorf("serve: ScoreBatch panicked: %v", r)
 		}
 	}()
-	return b.sc.ScoreBatch(ids)
-}
-
-// run executes one batch on the worker pool, blocking for a slot so at most
-// Workers batches are in flight.
-func (b *Batcher) run(batch []batchReq) {
-	b.sem <- struct{}{}
-	b.wg.Add(1)
-	go func() {
-		defer func() {
-			<-b.sem
-			b.wg.Done()
-		}()
-		ids := make([]int, len(batch))
-		for i, r := range batch {
-			ids[i] = r.id
+	if b.into != nil {
+		if cap(job.out) < len(job.ids) {
+			job.out = make([]float64, len(job.ids))
 		}
-		scores, err := b.scoreBatch(ids)
-		if err == nil && len(scores) != len(ids) {
-			err = fmt.Errorf("serve: ScoreBatch returned %d scores for %d ids", len(scores), len(ids))
+		job.out = job.out[:len(job.ids)]
+		if err := b.into.ScoreBatchInto(job.ids, job.out); err != nil {
+			return nil, err
 		}
-		for i, r := range batch {
-			if err != nil {
-				r.out <- batchResp{err: err}
-			} else {
-				r.out <- batchResp{score: scores[i]}
-			}
-		}
-	}()
+		return job.out, nil
+	}
+	return b.sc.ScoreBatch(job.ids)
 }

@@ -167,6 +167,9 @@ func TestBatcherClose(t *testing.T) {
 			r := rand.New(rand.NewSource(seed))
 			for i := 0; i < 50; i++ {
 				if _, err := b.Score(r.Intn(nm.Rows())); err != nil {
+					if err == ErrOverloaded {
+						continue // admission control shedding load, not shutdown
+					}
 					if err != ErrClosed {
 						t.Errorf("unexpected error: %v", err)
 					}
@@ -237,4 +240,13 @@ func (c *countingScorer) ScoreBatch(ids []int) ([]float64, error) {
 	c.calls.Add(1)
 	time.Sleep(c.perBatch)
 	return c.Scorer.ScoreBatch(ids)
+}
+
+// ScoreBatchInto must be overridden too: the embedded *Scorer promotes it,
+// so the Batcher's IntoScorer probe would otherwise route around the
+// counting/sleep instrumentation.
+func (c *countingScorer) ScoreBatchInto(ids []int, out []float64) error {
+	c.calls.Add(1)
+	time.Sleep(c.perBatch)
+	return c.Scorer.ScoreBatchInto(ids, out)
 }

@@ -276,15 +276,29 @@ func (s *EpochScorer) ScoreRow(id int) (float64, error) {
 // all rows of the batch observe one weight version and one epoch, even
 // under concurrent UpdateWeights and Store.Commit.
 func (s *EpochScorer) ScoreBatch(ids []int) ([]float64, error) {
+	out := make([]float64, len(ids))
+	if err := s.ScoreBatchInto(ids, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScoreBatchInto is the allocation-free form of ScoreBatch: scores are
+// written into the caller-owned out slice (len(out) must equal
+// len(ids)). Snapshot semantics are identical to ScoreBatch: one
+// (weights, epoch) generation for the whole batch.
+func (s *EpochScorer) ScoreBatchInto(ids []int, out []float64) error {
+	if len(out) != len(ids) {
+		return fmt.Errorf("%w: %d for %d ids", ErrOutputLen, len(out), len(ids))
+	}
 	n := s.store.Rows()
 	for _, id := range ids {
 		if id < 0 || id >= n {
-			return nil, fmt.Errorf("%w: %d not in [0,%d)", ErrRowRange, id, n)
+			return fmt.Errorf("%w: %d not in [0,%d)", ErrRowRange, id, n)
 		}
 	}
-	out := make([]float64, len(ids))
 	s.gather(ids, out)
-	return out, nil
+	return nil
 }
 
 // ScoreAll serves every row in order at one (weights, epoch) generation.
@@ -301,5 +315,5 @@ func (s *EpochScorer) gather(ids []int, out []float64) {
 	s.mu.RLock()
 	st := s.st
 	s.mu.RUnlock()
-	gatherInto(ids, out, s.isAssign, s.kAssign, st.sw, st.parts, s.head == Logistic)
+	gatherInto(ids, out, s.isAssign, s.kAssign, st.sw, st.parts, s.head == Logistic, 1)
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is active; under -race,
+// sync.Pool intentionally drops items to widen interleavings, so
+// pool-backed zero-allocation assertions are skipped.
+const raceEnabled = true

@@ -58,8 +58,22 @@ func (h Head) String() string {
 var (
 	// ErrRowRange is returned when a requested row id is out of bounds.
 	ErrRowRange = errors.New("serve: row id out of range")
-	// ErrClosed is returned by Batcher.Score after Close.
-	ErrClosed = errors.New("serve: batcher closed")
+	// ErrBatcherClosed is returned by Batcher.Score once Close has begun:
+	// the request was not admitted and never will be. It is the documented
+	// fast-fail sentinel — Score never blocks on a closed batcher.
+	ErrBatcherClosed = errors.New("serve: batcher closed")
+	// ErrClosed is the historical alias of ErrBatcherClosed (same value,
+	// so errors.Is and == both keep working).
+	ErrClosed = ErrBatcherClosed
+	// ErrOverloaded is returned by Batcher.Score when the admission queue
+	// is full: the request was rejected immediately instead of queueing
+	// without bound. Callers should shed load or retry with backoff.
+	ErrOverloaded = errors.New("serve: batcher overloaded")
+	// ErrNotOwned is returned by a ShardedScorer asked for a row outside
+	// its hash slice; the Router never routes such a request.
+	ErrNotOwned = errors.New("serve: row not owned by this shard replica")
+	// ErrOutputLen is returned by ScoreBatchInto when len(out) != len(ids).
+	ErrOutputLen = errors.New("serve: output slice length does not match ids")
 )
 
 // Scorer answers prediction requests over a normalized feature store using
@@ -75,6 +89,11 @@ var (
 type Scorer struct {
 	nm   *core.NormalizedMatrix
 	head Head
+
+	// Static join structure, hoisted once at construction (the feature
+	// store is immutable), so the gather path allocates nothing per call.
+	isAssign []int32
+	kAssign  [][]int32
 
 	mu    sync.RWMutex
 	w     *la.Dense   // d×1 snapshot of the current weights
@@ -98,11 +117,19 @@ func NewScorer(nm *core.NormalizedMatrix, w *la.Dense, head Head) (*Scorer, erro
 		return nil, fmt.Errorf("serve: unknown head %d", int(head))
 	}
 	s := &Scorer{nm: nm, head: head}
+	if is := nm.IS(); is != nil {
+		s.isAssign = is.Assignments()
+	}
+	s.kAssign = make([][]int32, nm.NumTables())
+	for t, k := range nm.Ks() {
+		s.kAssign[t] = k.Assignments()
+	}
 	wCol, err := asWeightColumn(w, nm.Cols())
 	if err != nil {
 		return nil, err
 	}
-	s.w, s.sw, s.parts = s.precompute(wCol)
+	s.w = wCol
+	s.sw, s.parts = computeCaches(nm, wCol)
 	return s, nil
 }
 
@@ -122,24 +149,25 @@ func asWeightColumn(w *la.Dense, d int) (*la.Dense, error) {
 	}
 }
 
-// precompute evaluates the per-table partial products for a d×1 weight
-// column: sw[i] = (S·wS)[i] over entity source tuples and
-// parts[t][j] = (R_t·w_{R_t})[j] over attribute source tuples.
-func (s *Scorer) precompute(wCol *la.Dense) (*la.Dense, []float64, [][]float64) {
-	var sw []float64
+// computeCaches evaluates the per-table partial products for a d×1
+// weight column: sw[i] = (S·wS)[i] over entity source tuples and
+// parts[t][j] = (R_t·w_{R_t})[j] over attribute source tuples. Shared by
+// Scorer and ShardedScorer so every fleet member computes its cache
+// through the identical arithmetic (bit-identical partials).
+func computeCaches(nm *core.NormalizedMatrix, wCol *la.Dense) (sw []float64, parts [][]float64) {
 	off := 0
-	if sm := s.nm.S(); sm != nil {
+	if sm := nm.S(); sm != nil {
 		dS := sm.Cols()
 		sw = columnData(sm.Mul(wCol.SliceRowsDense(0, dS)))
 		off = dS
 	}
-	parts := make([][]float64, len(s.nm.Rs()))
-	for t, r := range s.nm.Rs() {
+	parts = make([][]float64, len(nm.Rs()))
+	for t, r := range nm.Rs() {
 		dR := r.Cols()
 		parts[t] = columnData(r.Mul(wCol.SliceRowsDense(off, off+dR)))
 		off += dR
 	}
-	return wCol, sw, parts
+	return sw, parts
 }
 
 func columnData(m *la.Dense) []float64 {
@@ -159,7 +187,7 @@ func (s *Scorer) UpdateWeights(w *la.Dense) error {
 	if err != nil {
 		return err
 	}
-	wCol, sw, parts := s.precompute(wCol)
+	sw, parts := computeCaches(s.nm, wCol)
 	s.mu.Lock()
 	s.w, s.sw, s.parts = wCol, sw, parts
 	s.mu.Unlock()
@@ -199,18 +227,33 @@ func (s *Scorer) ScoreRow(id int) (float64, error) {
 // scored under that one snapshot, so a concurrent UpdateWeights never
 // splits a batch across weight versions.
 func (s *Scorer) ScoreBatch(ids []int) ([]float64, error) {
+	out := make([]float64, len(ids))
+	if err := s.ScoreBatchInto(ids, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScoreBatchInto is the allocation-free form of ScoreBatch: scores are
+// written into the caller-owned out slice (len(out) must equal
+// len(ids)). Snapshot semantics are identical to ScoreBatch. The
+// steady-state path performs zero heap allocations — pinned by
+// BenchmarkRouterScore and the allocation-audit tests.
+func (s *Scorer) ScoreBatchInto(ids []int, out []float64) error {
+	if len(out) != len(ids) {
+		return fmt.Errorf("%w: %d for %d ids", ErrOutputLen, len(out), len(ids))
+	}
 	n := s.nm.Rows()
 	for _, id := range ids {
 		if id < 0 || id >= n {
-			return nil, fmt.Errorf("%w: %d not in [0,%d)", ErrRowRange, id, n)
+			return fmt.Errorf("%w: %d not in [0,%d)", ErrRowRange, id, n)
 		}
 	}
 	s.mu.RLock()
 	sw, parts := s.sw, s.parts
 	s.mu.RUnlock()
-	out := make([]float64, len(ids))
 	s.gather(ids, out, sw, parts)
-	return out, nil
+	return nil
 }
 
 // ScoreAll serves every row of the feature store in order; it is the cached
@@ -225,51 +268,62 @@ func (s *Scorer) ScoreAll() []float64 {
 }
 
 // gather is the batch hot path: one partial-cache read per row, with the
-// indicator assignment slices hoisted out of the loop so the inner body is
-// pure array indexing. ids == nil means the identity batch (all rows).
+// indicator assignment slices hoisted to construction so the inner body
+// is pure array indexing and the call allocates nothing. ids == nil
+// means the identity batch (all rows).
 func (s *Scorer) gather(ids []int, out []float64, sw []float64, parts [][]float64) {
-	var isAssign []int32
-	if is := s.nm.IS(); is != nil {
-		isAssign = is.Assignments()
-	}
-	kAssign := make([][]int32, len(parts))
-	for t, k := range s.nm.Ks() {
-		kAssign[t] = k.Assignments()
-	}
-	gatherInto(ids, out, isAssign, kAssign, sw, parts, s.head == Logistic)
+	gatherInto(ids, out, s.isAssign, s.kAssign, sw, parts, s.head == Logistic, 1)
 }
 
 // gatherInto runs the shared gather kernel over one partial-cache
 // snapshot: per row, the entity partial (routed through isAssign when
-// non-nil) plus one attribute partial per table, fanned across cores for
-// large batches. Both Scorer and EpochScorer score through it, so the
-// two paths stay bit-identical by construction.
-func gatherInto(ids []int, out []float64, isAssign []int32, kAssign [][]int32, sw []float64, parts [][]float64, logistic bool) {
+// non-nil, or through the swDiv shard stride when > 1) plus one
+// attribute partial per table, fanned across cores for large batches.
+// Scorer, ShardedScorer, and EpochScorer all score through it, so every
+// fleet path stays bit-identical by construction. swDiv > 1 is the
+// hash-sharded layout: the sw cache holds only rows id ≡ shard (mod
+// swDiv), stored at local index id/swDiv.
+func gatherInto(ids []int, out []float64, isAssign []int32, kAssign [][]int32, sw []float64, parts [][]float64, logistic bool, swDiv int) {
 	// Rough per-row cost: one add per table plus the head evaluation.
 	work := len(out) * (len(parts) + 8)
+	if la.ParallelChunks(len(out), work) <= 1 {
+		// Serial fast path, called directly: passing a closure to
+		// ParallelRows would heap-allocate it even when the loop runs
+		// inline, and the steady-state request path must stay zero-alloc.
+		gatherRange(0, len(out), ids, out, isAssign, kAssign, sw, parts, logistic, swDiv)
+		return
+	}
 	la.ParallelRows(len(out), work, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			id := i
-			if ids != nil {
-				id = ids[i]
-			}
-			m := 0.0
-			if sw != nil {
-				si := id
-				if isAssign != nil {
-					si = int(isAssign[id])
-				}
-				m = sw[si]
-			}
-			for t, a := range kAssign {
-				m += parts[t][a[id]]
-			}
-			if logistic {
-				m = 1 / (1 + math.Exp(-m))
-			}
-			out[i] = m
-		}
+		gatherRange(lo, hi, ids, out, isAssign, kAssign, sw, parts, logistic, swDiv)
 	})
+}
+
+// gatherRange scores rows [lo, hi) of the batch — the shared inner body of
+// both the serial and the fanned-out gather.
+func gatherRange(lo, hi int, ids []int, out []float64, isAssign []int32, kAssign [][]int32, sw []float64, parts [][]float64, logistic bool, swDiv int) {
+	for i := lo; i < hi; i++ {
+		id := i
+		if ids != nil {
+			id = ids[i]
+		}
+		m := 0.0
+		if sw != nil {
+			si := id
+			if isAssign != nil {
+				si = int(isAssign[id])
+			} else if swDiv > 1 {
+				si = id / swDiv
+			}
+			m = sw[si]
+		}
+		for t, a := range kAssign {
+			m += parts[t][a[id]]
+		}
+		if logistic {
+			m = 1 / (1 + math.Exp(-m))
+		}
+		out[i] = m
+	}
 }
 
 // margin gathers the cached partials for one logical row: the entity

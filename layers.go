@@ -233,20 +233,60 @@ var (
 	PlannedGNMF          = plan.GNMF
 )
 
-// Serving layer (internal/serve): concurrent batched scoring over a
+// Serving layer (internal/serve): a three-layer scoring fleet over a
 // normalized feature store with cached attribute-table partial products
-// (T·w = S·wS + Σ K_i·(R_i·w_{R_i}), precomputed per model).
+// (T·w = S·wS + Σ K_i·(R_i·w_{R_i}), precomputed per model): Replicas
+// (Scorer / ShardedScorer / EpochScorer) gather cached partials, the
+// Router places batches across a fleet of them (hash-sharded or
+// replicated) under a fleet-wide weight barrier, and the Batcher
+// coalesces callers behind a bounded admission queue that fails fast
+// with ErrOverloaded instead of queueing without bound.
 
 // Scorer answers single-row and batch prediction requests from cached
 // partials; weights swap atomically via UpdateWeights.
 type Scorer = serve.Scorer
 
+// ShardedScorer is one hash-slice of a fleet: it owns rows id ≡ shard
+// (mod of) and holds the entity-side partial cache only for its slice.
+type ShardedScorer = serve.ShardedScorer
+
+// ScoreReplica is one fleet member behind the Router: the batch scoring
+// surface plus fleet-wide weight management. Routers nest — a Router is
+// itself a ScoreReplica.
+type ScoreReplica = serve.Replica
+
+// IntoScorer is the allocation-free capability the Batcher probes its
+// backend for (ScoreBatchInto into caller-owned buffers).
+type IntoScorer = serve.IntoScorer
+
+// ScoreRouter fans scoring batches across a replica fleet and merges
+// results in request order, with UpdateWeights applied fleet-wide.
+type ScoreRouter = serve.Router
+
+// ScoreRouterStats counts a router's batches, sub-batches, rows, and
+// weight barriers.
+type ScoreRouterStats = serve.RouterStats
+
+// FleetPlacement selects how a fleet spreads the partial-product cache.
+type FleetPlacement = serve.Placement
+
+// Fleet cache placements.
+const (
+	ReplicatedFleet  = serve.Replicated
+	HashShardedFleet = serve.HashSharded
+)
+
 // Batcher coalesces concurrent single-row scoring calls into shared batch
-// gather passes on a bounded worker pool.
+// gather passes on a bounded worker pool behind a bounded admission queue.
 type Batcher = serve.Batcher
 
-// BatchOptions tunes the Batcher's micro-batching dispatcher.
+// BatchOptions tunes the Batcher's micro-batching dispatcher and
+// admission queue.
 type BatchOptions = serve.BatchOptions
+
+// BatcherStats counts a Batcher's admissions, rejections, batches, and
+// peak queue depth.
+type BatcherStats = serve.BatcherStats
 
 // BatchScorer is the backend contract a Batcher coalesces over.
 type BatchScorer = serve.BatchScorer
@@ -260,10 +300,23 @@ const (
 	LogisticHead = serve.Logistic
 )
 
+// Serving-layer sentinel errors.
+var (
+	// ErrScoreOverloaded reports a request rejected by a full admission
+	// queue.
+	ErrScoreOverloaded = serve.ErrOverloaded
+	// ErrScoreBatcherClosed reports a Score call after Close.
+	ErrScoreBatcherClosed = serve.ErrBatcherClosed
+)
+
 // Serving-layer entry points.
 var (
-	NewScorer  = serve.NewScorer
-	NewBatcher = serve.NewBatcher
+	NewScorer        = serve.NewScorer
+	NewShardedScorer = serve.NewShardedScorer
+	NewScoreRouter   = serve.NewRouter
+	NewScorerFleet   = serve.NewScorerFleet
+	NewEpochFleet    = serve.NewEpochFleet
+	NewBatcher       = serve.NewBatcher
 )
 
 // Versioning layer (internal/epoch + the epoch-aware scorer in
